@@ -1,0 +1,48 @@
+// Ablation A3 (paper §3.4): the MR1W optimization. With MR1W the writer
+// following a read group receives an early copy and executes concurrently
+// with the readers (two-copy-version-style concurrency); without it the
+// writer starts only after every reader's release has reached it. The
+// benefit should grow with the read probability (more and larger read
+// groups ahead of writers) and vanish at pr = 0.
+
+#include "bench_common.h"
+
+namespace gtpl::bench {
+namespace {
+
+void Run(const harness::CliOptions& options) {
+  harness::Table table(
+      {"pr", "g-2PL resp (MR1W)", "g-2PL resp (basic)", "MR1W gain%",
+       "abort% (MR1W)", "abort% (basic)"});
+  for (double pr : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    proto::SimConfig config = PaperBaseConfig();
+    harness::ApplyScale(options.scale, &config);
+    config.latency = 500;
+    config.workload.read_prob = pr;
+    config.protocol = proto::Protocol::kG2pl;
+    config.g2pl.mr1w = true;
+    const harness::PointResult with_mr1w =
+        harness::RunReplicated(config, options.scale.runs);
+    config.g2pl.mr1w = false;
+    const harness::PointResult basic =
+        harness::RunReplicated(config, options.scale.runs);
+    table.AddRow(
+        {harness::Fmt(pr, 2), harness::Fmt(with_mr1w.response.mean, 0),
+         harness::Fmt(basic.response.mean, 0),
+         harness::Fmt(
+             Improvement(basic.response.mean, with_mr1w.response.mean), 1),
+         harness::Fmt(with_mr1w.abort_pct.mean, 2),
+         harness::Fmt(basic.abort_pct.mean, 2)});
+  }
+  table.Print(options.csv_path);
+}
+
+}  // namespace
+}  // namespace gtpl::bench
+
+int main(int argc, char** argv) {
+  const gtpl::harness::CliOptions options = gtpl::bench::ParseOrDie(argc, argv);
+  gtpl::harness::PrintBanner("Ablation A3: MR1W on/off (s-WAN)", options);
+  gtpl::bench::Run(options);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation A2 (paper §3.3 / §6): forward-list ordering disciplines. The
+// paper's default creates forward lists in FIFO arrival order and lists
+// "the various ordering disciplines in forming the forward lists" as future
+// work; this bench compares FIFO against reads-first (larger leading read
+// groups) and writes-first across the read-probability range.
+
+#include "bench_common.h"
+
+#include "core/ordering.h"
+
+namespace gtpl::bench {
+namespace {
+
+void Run(const harness::CliOptions& options) {
+  harness::Table table({"pr", "policy", "g-2PL resp", "abort%",
+                        "mean FL length"});
+  for (double pr : {0.25, 0.5, 0.75}) {
+    for (core::OrderingPolicy policy :
+         {core::OrderingPolicy::kFifo, core::OrderingPolicy::kReadsFirst,
+          core::OrderingPolicy::kWritesFirst}) {
+      proto::SimConfig config = PaperBaseConfig();
+      harness::ApplyScale(options.scale, &config);
+      config.latency = 500;
+      config.workload.read_prob = pr;
+      config.protocol = proto::Protocol::kG2pl;
+      config.g2pl.ordering = policy;
+      const harness::PointResult point =
+          harness::RunReplicated(config, options.scale.runs);
+      table.AddRow({harness::Fmt(pr, 2), core::ToString(policy),
+                    harness::Fmt(point.response.mean, 0),
+                    harness::Fmt(point.abort_pct.mean, 2),
+                    harness::Fmt(point.fl_length.mean, 2)});
+    }
+  }
+  table.Print(options.csv_path);
+}
+
+}  // namespace
+}  // namespace gtpl::bench
+
+int main(int argc, char** argv) {
+  const gtpl::harness::CliOptions options = gtpl::bench::ParseOrDie(argc, argv);
+  gtpl::harness::PrintBanner(
+      "Ablation A2: forward-list ordering disciplines (s-WAN)", options);
+  gtpl::bench::Run(options);
+  return 0;
+}

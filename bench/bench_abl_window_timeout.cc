@@ -1,0 +1,46 @@
+// Ablation A1 (paper §3.2 footnote 1): "tuning the collection window does
+// not produce significant performance gains". The collection window is
+// controlled through the forward-list length cap; this bench sweeps it on an
+// update-heavy WAN workload and shows the flat region once the cap stops
+// binding — tuning buys nothing, while an aggressively small window hurts
+// (it throws away both grouping and reordering freedom).
+
+#include "bench_common.h"
+
+namespace gtpl::bench {
+namespace {
+
+void Run(const harness::CliOptions& options) {
+  harness::Table table({"pr", "fl-cap", "g-2PL resp", "abort%",
+                        "mean FL length"});
+  for (double pr : {0.25, 0.6}) {
+    for (int32_t cap : {1, 2, 3, 5, 8, 12, 20, 0}) {
+      proto::SimConfig config = PaperBaseConfig();
+      harness::ApplyScale(options.scale, &config);
+      config.latency = 500;
+      config.workload.read_prob = pr;
+      config.protocol = proto::Protocol::kG2pl;
+      config.g2pl.max_forward_list_length = cap;
+      const harness::PointResult point =
+          harness::RunReplicated(config, options.scale.runs);
+      table.AddRow({harness::Fmt(pr, 2),
+                    cap == 0 ? "inf" : std::to_string(cap),
+                    harness::Fmt(point.response.mean, 0),
+                    harness::Fmt(point.abort_pct.mean, 2),
+                    harness::Fmt(point.fl_length.mean, 2)});
+    }
+  }
+  table.Print(options.csv_path);
+}
+
+}  // namespace
+}  // namespace gtpl::bench
+
+int main(int argc, char** argv) {
+  const gtpl::harness::CliOptions options = gtpl::bench::ParseOrDie(argc, argv);
+  gtpl::harness::PrintBanner(
+      "Ablation A1: collection-window (forward-list cap) tuning, s-WAN",
+      options);
+  gtpl::bench::Run(options);
+  return 0;
+}

@@ -1,0 +1,47 @@
+#ifndef GTPL_BENCH_BENCH_COMMON_H_
+#define GTPL_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the figure-reproduction bench binaries.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/cli.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "protocols/config.h"
+
+namespace gtpl::bench {
+
+/// The paper's Table 1 base configuration: 50 clients, 25 hot items, 1-5
+/// items per transaction, think U[1,3], idle U[2,10], MPL 1.
+inline proto::SimConfig PaperBaseConfig() {
+  proto::SimConfig config;
+  config.num_clients = 50;
+  config.latency = 500;
+  // A generous safety horizon so a pathological configuration reports
+  // timed_out instead of running forever.
+  config.max_sim_time = 60'000'000'000;
+  return config;
+}
+
+/// Parses flags or exits with usage.
+inline harness::CliOptions ParseOrDie(int argc, char** argv) {
+  harness::CliOptions options;
+  const Status status = harness::ParseCli(argc, argv, &options);
+  if (!status.ok()) {
+    std::exit(2);
+  }
+  return options;
+}
+
+/// Percentage improvement of g-2PL over s-2PL (positive = g-2PL faster).
+inline double Improvement(double s2pl, double g2pl) {
+  if (s2pl == 0.0) return 0.0;
+  return 100.0 * (s2pl - g2pl) / s2pl;
+}
+
+}  // namespace gtpl::bench
+
+#endif  // GTPL_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,51 @@
+// Extension A10: computation-time sensitivity. The paper's premise is a
+// network-bound system ("the network latency is significantly higher than
+// the computation/idle times"; think U[1,3] vs latency up to 750). This
+// bench grows the per-operation computation time toward — and past — the
+// network latency and shows where g-2PL's round savings stop mattering.
+
+#include "bench_common.h"
+
+namespace gtpl::bench {
+namespace {
+
+void Run(const harness::CliOptions& options) {
+  harness::Table table({"think (units)", "think/latency", "s-2PL resp",
+                        "g-2PL resp", "improv%"});
+  const SimTime kLatency = 250;
+  for (SimTime think_mid : {2, 25, 125, 250, 500, 1000}) {
+    proto::SimConfig config = PaperBaseConfig();
+    harness::ApplyScale(options.scale, &config);
+    config.latency = kLatency;
+    config.workload.read_prob = 0.6;
+    config.workload.min_think = std::max<SimTime>(1, think_mid / 2);
+    config.workload.max_think = think_mid + think_mid / 2;
+    config.protocol = proto::Protocol::kS2pl;
+    const harness::PointResult s2pl =
+        harness::RunReplicated(config, options.scale.runs);
+    config.protocol = proto::Protocol::kG2pl;
+    const harness::PointResult g2pl =
+        harness::RunReplicated(config, options.scale.runs);
+    table.AddRow(
+        {std::to_string(config.workload.min_think) + "-" +
+             std::to_string(config.workload.max_think),
+         harness::Fmt(static_cast<double>(think_mid) / kLatency, 2),
+         harness::Fmt(s2pl.response.mean, 0),
+         harness::Fmt(g2pl.response.mean, 0),
+         harness::Fmt(Improvement(s2pl.response.mean, g2pl.response.mean),
+                      1)});
+  }
+  table.Print(options.csv_path);
+}
+
+}  // namespace
+}  // namespace gtpl::bench
+
+int main(int argc, char** argv) {
+  const gtpl::harness::CliOptions options = gtpl::bench::ParseOrDie(argc, argv);
+  gtpl::harness::PrintBanner(
+      "Extension A10: computation-time sensitivity (pr = 0.6, MAN latency)",
+      options);
+  gtpl::bench::Run(options);
+  return 0;
+}

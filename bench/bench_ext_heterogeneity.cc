@@ -1,0 +1,59 @@
+// Extension A9: sensitivity to the paper's uniform-latency assumption
+// ("we make the simplifying assumption that the network latency between any
+// two sites ... is the same"). Two relaxations:
+//   * jitter  — every message takes latency + U[0, jitter];
+//   * spread  — clients sit at different distances from the server, so
+//     client-to-client migration may cross the whole diameter.
+// Question: does heterogeneity erode g-2PL's advantage (its hand-offs are
+// client-to-client, while s-2PL always routes through the server)?
+
+#include "bench_common.h"
+
+namespace gtpl::bench {
+namespace {
+
+void Run(const harness::CliOptions& options) {
+  harness::Table table({"variation", "value", "s-2PL resp", "g-2PL resp",
+                        "improv%"});
+  auto run_point = [&](const char* variation, const std::string& value,
+                       SimTime jitter, double spread) {
+    proto::SimConfig config = PaperBaseConfig();
+    harness::ApplyScale(options.scale, &config);
+    config.latency = 500;
+    config.workload.read_prob = 0.6;
+    config.latency_jitter = jitter;
+    config.latency_spread = spread;
+    config.protocol = proto::Protocol::kS2pl;
+    const harness::PointResult s2pl =
+        harness::RunReplicated(config, options.scale.runs);
+    config.protocol = proto::Protocol::kG2pl;
+    const harness::PointResult g2pl =
+        harness::RunReplicated(config, options.scale.runs);
+    table.AddRow({variation, value, harness::Fmt(s2pl.response.mean, 0),
+                  harness::Fmt(g2pl.response.mean, 0),
+                  harness::Fmt(
+                      Improvement(s2pl.response.mean, g2pl.response.mean),
+                      1)});
+  };
+  run_point("baseline", "0", 0, 0.0);
+  for (SimTime jitter : {50, 125, 250}) {
+    run_point("jitter", std::to_string(jitter), jitter, 0.0);
+  }
+  for (double spread : {0.25, 0.5, 1.0}) {
+    run_point("spread", harness::Fmt(spread, 2), 0, spread);
+  }
+  run_point("both", "jitter 125 + spread 0.5", 125, 0.5);
+  table.Print(options.csv_path);
+}
+
+}  // namespace
+}  // namespace gtpl::bench
+
+int main(int argc, char** argv) {
+  const gtpl::harness::CliOptions options = gtpl::bench::ParseOrDie(argc, argv);
+  gtpl::harness::PrintBanner(
+      "Extension A9: latency heterogeneity sensitivity (pr = 0.6, s-WAN)",
+      options);
+  gtpl::bench::Run(options);
+  return 0;
+}

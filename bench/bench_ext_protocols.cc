@@ -1,0 +1,50 @@
+// Extension A5 (paper §1 / §6): comparison against the client-caching
+// protocol families the paper names — caching 2PL (c-2PL), callback locking
+// (CBL) and optimistic 2PL (O2PL) — across the latency range at a moderate
+// read mix, the comparison the paper defers to future work.
+//
+// Expected qualitative outcome in a latency-dominated WAN: c-2PL tracks
+// s-2PL (data caching saves bytes, not rounds); CBL benefits from read
+// permission caching on cache hits; O2PL trades rounds for certification
+// aborts and wins only while contention stays moderate.
+
+#include "bench_common.h"
+
+namespace gtpl::bench {
+namespace {
+
+void Run(const harness::CliOptions& options) {
+  const proto::Protocol kProtocols[] = {
+      proto::Protocol::kS2pl, proto::Protocol::kG2pl, proto::Protocol::kC2pl,
+      proto::Protocol::kCbl, proto::Protocol::kO2pl};
+  harness::Table table({"latency", "protocol", "resp", "abort%",
+                        "msgs/commit", "payload/commit"});
+  for (SimTime latency : {1, 100, 500}) {
+    for (proto::Protocol protocol : kProtocols) {
+      proto::SimConfig config = PaperBaseConfig();
+      harness::ApplyScale(options.scale, &config);
+      config.latency = latency;
+      config.workload.read_prob = 0.6;
+      config.protocol = protocol;
+      const harness::PointResult point =
+          harness::RunReplicated(config, options.scale.runs);
+      table.AddRow({std::to_string(latency), proto::ToString(protocol),
+                    harness::Fmt(point.response.mean, 0),
+                    harness::Fmt(point.abort_pct.mean, 2),
+                    harness::Fmt(point.mean_messages_per_commit, 1),
+                    harness::Fmt(point.mean_payload_per_commit, 1)});
+    }
+  }
+  table.Print(options.csv_path);
+}
+
+}  // namespace
+}  // namespace gtpl::bench
+
+int main(int argc, char** argv) {
+  const gtpl::harness::CliOptions options = gtpl::bench::ParseOrDie(argc, argv);
+  gtpl::harness::PrintBanner(
+      "Extension A5: protocol family comparison (pr = 0.6)", options);
+  gtpl::bench::Run(options);
+  return 0;
+}

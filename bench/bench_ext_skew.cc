@@ -1,0 +1,49 @@
+// Extension A8: access skew. The paper's hypothesis — "the more a certain
+// data item is requested[,] ... more is the performance gain, since the
+// grouping effect is emphasized when the forward list is longer" — tested
+// directly by sweeping Zipf skew over the hot pool (theta = 0 is the
+// paper's uniform access).
+
+#include "bench_common.h"
+
+namespace gtpl::bench {
+namespace {
+
+void Run(const harness::CliOptions& options) {
+  harness::Table table({"zipf theta", "s-2PL resp", "g-2PL resp", "improv%",
+                        "g-2PL FL len"});
+  for (double theta : {0.0, 0.5, 0.9, 1.2, 1.5}) {
+    proto::SimConfig config = PaperBaseConfig();
+    harness::ApplyScale(options.scale, &config);
+    config.latency = 500;
+    config.workload.read_prob = 0.6;
+    config.workload.zipf_theta = theta;
+    config.protocol = proto::Protocol::kS2pl;
+    const harness::PointResult s2pl =
+        harness::RunReplicated(config, options.scale.runs);
+    config.protocol = proto::Protocol::kG2pl;
+    const harness::PointResult g2pl =
+        harness::RunReplicated(config, options.scale.runs);
+    table.AddRow({harness::Fmt(theta, 1),
+                  harness::Fmt(s2pl.response.mean, 0),
+                  harness::Fmt(g2pl.response.mean, 0),
+                  harness::Fmt(
+                      Improvement(s2pl.response.mean, g2pl.response.mean),
+                      1),
+                  harness::Fmt(g2pl.fl_length.mean, 2)});
+  }
+  table.Print(options.csv_path);
+}
+
+}  // namespace
+}  // namespace gtpl::bench
+
+int main(int argc, char** argv) {
+  const gtpl::harness::CliOptions options = gtpl::bench::ParseOrDie(argc, argv);
+  gtpl::harness::PrintBanner(
+      "Extension A8: access skew (Zipf) and the grouping effect "
+      "(pr = 0.6, s-WAN)",
+      options);
+  gtpl::bench::Run(options);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figures 12-15: mean transaction response time and percentage of
+// transactions aborted versus the number of clients, for read probabilities
+// 0.25 and 0.75 in an s-WAN (latency 500; 25 hot items; 1-5 items/txn).
+//
+// Paper shape: g-2PL outperforms s-2PL at high loads for both read mixes
+// (Figs 12/14); abort fractions are close, with a cross-over beyond which a
+// higher fraction of transactions abort under s-2PL (Figs 13/15).
+
+#include "bench_common.h"
+
+namespace gtpl::bench {
+namespace {
+
+void Run(const harness::CliOptions& options) {
+  harness::Table table({"pr", "clients", "s-2PL resp", "g-2PL resp",
+                        "improv%", "s-2PL abort%", "g-2PL abort%"});
+  for (double pr : {0.25, 0.75}) {
+    for (int32_t clients : {10, 25, 50, 75, 100, 125, 150}) {
+      proto::SimConfig config = PaperBaseConfig();
+      harness::ApplyScale(options.scale, &config);
+      config.num_clients = clients;
+      config.latency = 500;
+      config.workload.read_prob = pr;
+      config.protocol = proto::Protocol::kS2pl;
+      const harness::PointResult s2pl =
+          harness::RunReplicated(config, options.scale.runs);
+      config.protocol = proto::Protocol::kG2pl;
+      const harness::PointResult g2pl =
+          harness::RunReplicated(config, options.scale.runs);
+      table.AddRow(
+          {harness::Fmt(pr, 2), std::to_string(clients),
+           harness::Fmt(s2pl.response.mean, 0),
+           harness::Fmt(g2pl.response.mean, 0),
+           harness::Fmt(Improvement(s2pl.response.mean, g2pl.response.mean),
+                        1),
+           harness::Fmt(s2pl.abort_pct.mean, 2),
+           harness::Fmt(g2pl.abort_pct.mean, 2)});
+    }
+  }
+  table.Print(options.csv_path);
+}
+
+}  // namespace
+}  // namespace gtpl::bench
+
+int main(int argc, char** argv) {
+  const gtpl::harness::CliOptions options = gtpl::bench::ParseOrDie(argc, argv);
+  gtpl::harness::PrintBanner(
+      "Figures 12-15: response time and abort% vs number of clients "
+      "(pr = 0.25 / 0.75, s-WAN)",
+      options);
+  gtpl::bench::Run(options);
+  return 0;
+}

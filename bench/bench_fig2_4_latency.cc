@@ -1,0 +1,52 @@
+// Figures 2-4: mean transaction response time of g-2PL and s-2PL versus
+// network latency, for read probabilities 0.0, 0.6 and 1.0 (50 clients, 25
+// hot items, 1-5 items per transaction).
+//
+// Paper shape: response grows with latency for both protocols; g-2PL's curve
+// has the lower slope (better WAN scalability) for pr = 0.0 and 0.6, with a
+// 19.5-26.9% improvement; only at pr = 1.0 (read-only) is s-2PL better.
+
+#include "bench_common.h"
+
+namespace gtpl::bench {
+namespace {
+
+void Run(const harness::CliOptions& options) {
+  harness::Table table({"pr", "latency", "s-2PL resp", "g-2PL resp",
+                        "improv%", "s-2PL ci%", "g-2PL ci%"});
+  for (double pr : {0.0, 0.6, 1.0}) {
+    for (SimTime latency : {1, 50, 100, 250, 500, 750}) {
+      proto::SimConfig config = PaperBaseConfig();
+      harness::ApplyScale(options.scale, &config);
+      config.latency = latency;
+      config.workload.read_prob = pr;
+      config.protocol = proto::Protocol::kS2pl;
+      const harness::PointResult s2pl =
+          harness::RunReplicated(config, options.scale.runs);
+      config.protocol = proto::Protocol::kG2pl;
+      const harness::PointResult g2pl =
+          harness::RunReplicated(config, options.scale.runs);
+      table.AddRow({harness::Fmt(pr, 2), std::to_string(latency),
+                    harness::Fmt(s2pl.response.mean, 0),
+                    harness::Fmt(g2pl.response.mean, 0),
+                    harness::Fmt(
+                        Improvement(s2pl.response.mean, g2pl.response.mean),
+                        1),
+                    harness::Fmt(100 * s2pl.response.relative_precision, 1),
+                    harness::Fmt(100 * g2pl.response.relative_precision, 1)});
+    }
+  }
+  table.Print(options.csv_path);
+}
+
+}  // namespace
+}  // namespace gtpl::bench
+
+int main(int argc, char** argv) {
+  const gtpl::harness::CliOptions options = gtpl::bench::ParseOrDie(argc, argv);
+  gtpl::harness::PrintBanner(
+      "Figures 2-4: mean response time vs network latency (pr = 0.0/0.6/1.0)",
+      options);
+  gtpl::bench::Run(options);
+  return 0;
+}

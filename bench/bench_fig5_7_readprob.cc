@@ -1,0 +1,71 @@
+// Figures 5-7: mean transaction response time of g-2PL and s-2PL versus the
+// read probability, in an ss-LAN (latency 1), a MAN (latency 250) and an
+// l-WAN (latency 750) environment (50 clients, 25 hot items).
+//
+// Paper shape: at low read probabilities g-2PL wins by grouping; a
+// performance cross-over appears at high pr; the cross-over point sits
+// around pr = 0.85 for latency 1 and shifts right as latency grows, so in
+// WANs g-2PL is superior over almost the whole range.
+
+#include "bench_common.h"
+
+namespace gtpl::bench {
+namespace {
+
+void Run(const harness::CliOptions& options) {
+  harness::Table table({"latency", "pr", "s-2PL resp", "g-2PL resp",
+                        "improv%"});
+  double crossover[3] = {-1.0, -1.0, -1.0};
+  const SimTime kLatencies[3] = {1, 250, 750};
+  for (int env = 0; env < 3; ++env) {
+    double previous_improvement = 0.0;
+    for (double pr = 0.0; pr <= 1.001; pr += 0.1) {
+      proto::SimConfig config = PaperBaseConfig();
+      harness::ApplyScale(options.scale, &config);
+      config.latency = kLatencies[env];
+      config.workload.read_prob = pr;
+      config.protocol = proto::Protocol::kS2pl;
+      const harness::PointResult s2pl =
+          harness::RunReplicated(config, options.scale.runs);
+      config.protocol = proto::Protocol::kG2pl;
+      const harness::PointResult g2pl =
+          harness::RunReplicated(config, options.scale.runs);
+      const double improvement =
+          Improvement(s2pl.response.mean, g2pl.response.mean);
+      if (crossover[env] < 0 && improvement < 0 && pr > 0) {
+        // Linear interpolation of the zero crossing.
+        crossover[env] =
+            pr - 0.1 * (0.0 - improvement) /
+                     (previous_improvement - improvement);
+      }
+      previous_improvement = improvement;
+      table.AddRow({std::to_string(kLatencies[env]), harness::Fmt(pr, 1),
+                    harness::Fmt(s2pl.response.mean, 0),
+                    harness::Fmt(g2pl.response.mean, 0),
+                    harness::Fmt(improvement, 1)});
+    }
+  }
+  table.Print(options.csv_path);
+  for (int env = 0; env < 3; ++env) {
+    if (crossover[env] >= 0) {
+      std::printf("cross-over at latency %lld: pr ~ %.2f\n",
+                  static_cast<long long>(kLatencies[env]), crossover[env]);
+    } else {
+      std::printf("cross-over at latency %lld: none in [0,1]\n",
+                  static_cast<long long>(kLatencies[env]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gtpl::bench
+
+int main(int argc, char** argv) {
+  const gtpl::harness::CliOptions options = gtpl::bench::ParseOrDie(argc, argv);
+  gtpl::harness::PrintBanner(
+      "Figures 5-7: mean response time vs read probability "
+      "(ss-LAN / MAN / l-WAN)",
+      options);
+  gtpl::bench::Run(options);
+  return 0;
+}

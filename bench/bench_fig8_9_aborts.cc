@@ -1,0 +1,51 @@
+// Figures 8-9: percentage of transactions aborted in g-2PL and s-2PL versus
+// the network latency, for read probabilities 0.6 and 0.8 (50 clients, 25
+// hot items).
+//
+// Paper shape: abort percentages of the two protocols are fairly close and
+// roughly constant across latencies above the single-segment-LAN point;
+// aborts decrease as the read probability grows.
+
+#include "bench_common.h"
+
+namespace gtpl::bench {
+namespace {
+
+void Run(const harness::CliOptions& options) {
+  harness::Table table(
+      {"pr", "latency", "s-2PL abort%", "g-2PL abort%", "s-2PL resp",
+       "g-2PL resp"});
+  for (double pr : {0.6, 0.8}) {
+    for (SimTime latency : {1, 50, 100, 250, 500, 750}) {
+      proto::SimConfig config = PaperBaseConfig();
+      harness::ApplyScale(options.scale, &config);
+      config.latency = latency;
+      config.workload.read_prob = pr;
+      config.protocol = proto::Protocol::kS2pl;
+      const harness::PointResult s2pl =
+          harness::RunReplicated(config, options.scale.runs);
+      config.protocol = proto::Protocol::kG2pl;
+      const harness::PointResult g2pl =
+          harness::RunReplicated(config, options.scale.runs);
+      table.AddRow({harness::Fmt(pr, 1), std::to_string(latency),
+                    harness::Fmt(s2pl.abort_pct.mean, 2),
+                    harness::Fmt(g2pl.abort_pct.mean, 2),
+                    harness::Fmt(s2pl.response.mean, 0),
+                    harness::Fmt(g2pl.response.mean, 0)});
+    }
+  }
+  table.Print(options.csv_path);
+}
+
+}  // namespace
+}  // namespace gtpl::bench
+
+int main(int argc, char** argv) {
+  const gtpl::harness::CliOptions options = gtpl::bench::ParseOrDie(argc, argv);
+  gtpl::harness::PrintBanner(
+      "Figures 8-9: percentage of transactions aborted vs network latency "
+      "(pr = 0.6 / 0.8)",
+      options);
+  gtpl::bench::Run(options);
+  return 0;
+}

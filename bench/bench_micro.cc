@@ -1,0 +1,114 @@
+// A6: google-benchmark microbenchmarks of the core data structures — the
+// event queue, the strict-2PL lock table, the precedence graph, and a whole
+// small simulation — to keep the substrate's costs visible.
+
+#include <benchmark/benchmark.h>
+
+#include "core/precedence_graph.h"
+#include "db/lock_table.h"
+#include "protocols/engine.h"
+#include "rng/rng.h"
+#include "sim/simulator.h"
+
+namespace gtpl {
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  rng::Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (int64_t i = 0; i < n; ++i) {
+      queue.Push(rng.UniformInt(0, 1'000'000), static_cast<uint64_t>(i),
+                 [] {});
+    }
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.Pop().time);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int64_t counter = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      sim.Schedule(i % 97, [&counter] { ++counter; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(4096);
+
+void BM_LockTableConflictChurn(benchmark::State& state) {
+  const int32_t items = 64;
+  rng::Rng rng(7);
+  for (auto _ : state) {
+    db::LockTable table(items);
+    TxnId next = 1;
+    std::vector<TxnId> active;
+    for (int i = 0; i < 2048; ++i) {
+      const TxnId txn = next++;
+      table.Request(txn, static_cast<ItemId>(rng.UniformInt(0, items - 1)),
+                    rng.Bernoulli(0.5) ? LockMode::kShared
+                                       : LockMode::kExclusive);
+      active.push_back(txn);
+      if (active.size() > 64) {
+        table.ReleaseAll(active.front(),
+                         [](TxnId, ItemId, LockMode) {});
+        active.erase(active.begin());
+      }
+    }
+    for (TxnId txn : active) {
+      table.ReleaseAll(txn, [](TxnId, ItemId, LockMode) {});
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_LockTableConflictChurn);
+
+void BM_PrecedenceGraphReachability(benchmark::State& state) {
+  // A layered DAG of 512 nodes with fan-out 4.
+  core::PrecedenceGraph graph;
+  for (TxnId a = 0; a < 512; ++a) {
+    for (TxnId d = 1; d <= 4; ++d) {
+      if (a + d * 7 < 512) {
+        graph.AddEdge(a, a + d * 7, core::kStructuralEdge);
+      }
+    }
+  }
+  rng::Rng rng(9);
+  for (auto _ : state) {
+    const TxnId from = rng.UniformInt(0, 255);
+    const TxnId to = rng.UniformInt(256, 511);
+    benchmark::DoNotOptimize(graph.CanReach(from, to));
+  }
+}
+BENCHMARK(BM_PrecedenceGraphReachability);
+
+void BM_WholeSimulation(benchmark::State& state) {
+  const bool g2pl = state.range(0) != 0;
+  for (auto _ : state) {
+    proto::SimConfig config;
+    config.protocol = g2pl ? proto::Protocol::kG2pl : proto::Protocol::kS2pl;
+    config.num_clients = 50;
+    config.latency = 500;
+    config.workload.read_prob = 0.5;
+    config.measured_txns = 500;
+    config.warmup_txns = 50;
+    config.seed = 5;
+    config.max_sim_time = 4'000'000'000;
+    const proto::RunResult result = proto::RunSimulation(config);
+    benchmark::DoNotOptimize(result.commits);
+  }
+  state.SetLabel(g2pl ? "g-2PL" : "s-2PL");
+}
+BENCHMARK(BM_WholeSimulation)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gtpl
+
+BENCHMARK_MAIN();

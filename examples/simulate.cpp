@@ -1,0 +1,196 @@
+// simulate: general-purpose command-line driver for the simulator — every
+// model knob from one flag set, one run (or R replications), full report.
+//
+//   ./build/examples/simulate --protocol=g2pl --clients=50 --latency=500
+//       --read-prob=0.6 --txns=10000 --runs=3
+//
+// Run with --help for the complete flag list.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "protocols/config.h"
+#include "protocols/engine.h"
+
+namespace {
+
+struct Flags {
+  gtpl::proto::SimConfig config;
+  int32_t runs = 1;
+};
+
+void PrintUsage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [flags]\n"
+      "  --protocol=s2pl|g2pl|c2pl|cbl|o2pl   (default s2pl)\n"
+      "  --clients=N          number of client sites (default 50)\n"
+      "  --latency=N          one-way network latency, time units (500)\n"
+      "  --jitter=N           extra U[0,N] per message (0)\n"
+      "  --spread=F           client distance spread in [0,1] (0)\n"
+      "  --items=N            hot data items at the server (25)\n"
+      "  --ops=MIN:MAX        items accessed per txn (1:5)\n"
+      "  --read-prob=F        probability an access is a read (0.5)\n"
+      "  --zipf=F             access skew theta, 0 = uniform (0)\n"
+      "  --sorted             access items in ascending id order\n"
+      "  --txns=N             measured committed transactions (10000)\n"
+      "  --warmup=N           transient-phase transactions excluded (1000)\n"
+      "  --runs=N             independent replications (1)\n"
+      "  --seed=N             base RNG seed (1)\n"
+      "  --mr1w=0|1           g-2PL MR1W optimization (1)\n"
+      "  --fl-cap=N           g-2PL forward-list length cap, 0 = none (0)\n"
+      "  --expand-reads       g-2PL read-group expansion (off)\n"
+      "  --ordering=fifo|reads-first|writes-first   g-2PL FL order (fifo)\n"
+      "  --charged-abort-notice   charge one latency for abort notices\n"
+      "  --wal-force-delay=N  simulated log-force latency (0)\n",
+      prog);
+}
+
+bool ParseFlag(const std::string& arg, Flags* flags) {
+  auto value_of = [&arg](const char* prefix) -> const char* {
+    const size_t len = std::strlen(prefix);
+    if (arg.compare(0, len, prefix) == 0) return arg.c_str() + len;
+    return nullptr;
+  };
+  gtpl::proto::SimConfig& config = flags->config;
+  if (const char* v1 = value_of("--protocol=")) {
+    const std::string name = v1;
+    if (name == "s2pl") {
+      config.protocol = gtpl::proto::Protocol::kS2pl;
+    } else if (name == "g2pl") {
+      config.protocol = gtpl::proto::Protocol::kG2pl;
+    } else if (name == "c2pl") {
+      config.protocol = gtpl::proto::Protocol::kC2pl;
+    } else if (name == "cbl") {
+      config.protocol = gtpl::proto::Protocol::kCbl;
+    } else if (name == "o2pl") {
+      config.protocol = gtpl::proto::Protocol::kO2pl;
+    } else {
+      return false;
+    }
+  } else if (const char* v2 = value_of("--clients=")) {
+    config.num_clients = std::atoi(v2);
+  } else if (const char* v3 = value_of("--latency=")) {
+    config.latency = std::atoll(v3);
+  } else if (const char* v4 = value_of("--jitter=")) {
+    config.latency_jitter = std::atoll(v4);
+  } else if (const char* v5 = value_of("--spread=")) {
+    config.latency_spread = std::atof(v5);
+  } else if (const char* v6 = value_of("--items=")) {
+    config.workload.num_items = std::atoi(v6);
+  } else if (const char* v7 = value_of("--ops=")) {
+    int lo = 0;
+    int hi = 0;
+    if (std::sscanf(v7, "%d:%d", &lo, &hi) != 2) return false;
+    config.workload.min_items_per_txn = lo;
+    config.workload.max_items_per_txn = hi;
+  } else if (const char* v8 = value_of("--read-prob=")) {
+    config.workload.read_prob = std::atof(v8);
+  } else if (const char* v9 = value_of("--zipf=")) {
+    config.workload.zipf_theta = std::atof(v9);
+  } else if (arg == "--sorted") {
+    config.workload.sorted_access = true;
+  } else if (const char* v10 = value_of("--txns=")) {
+    config.measured_txns = std::atoll(v10);
+  } else if (const char* v11 = value_of("--warmup=")) {
+    config.warmup_txns = std::atoll(v11);
+  } else if (const char* v12 = value_of("--runs=")) {
+    flags->runs = std::atoi(v12);
+  } else if (const char* v13 = value_of("--seed=")) {
+    config.seed = static_cast<uint64_t>(std::atoll(v13));
+  } else if (const char* v14 = value_of("--mr1w=")) {
+    config.g2pl.mr1w = std::atoi(v14) != 0;
+  } else if (const char* v15 = value_of("--fl-cap=")) {
+    config.g2pl.max_forward_list_length = std::atoi(v15);
+  } else if (arg == "--expand-reads") {
+    config.g2pl.expand_read_groups = true;
+  } else if (const char* v16 = value_of("--ordering=")) {
+    const std::string name = v16;
+    if (name == "fifo") {
+      config.g2pl.ordering = gtpl::core::OrderingPolicy::kFifo;
+    } else if (name == "reads-first") {
+      config.g2pl.ordering = gtpl::core::OrderingPolicy::kReadsFirst;
+    } else if (name == "writes-first") {
+      config.g2pl.ordering = gtpl::core::OrderingPolicy::kWritesFirst;
+    } else {
+      return false;
+    }
+  } else if (arg == "--charged-abort-notice") {
+    config.instant_abort_notice = false;
+  } else if (const char* v17 = value_of("--wal-force-delay=")) {
+    config.wal_force_delay = std::atoll(v17);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.config.measured_txns = 10000;
+  flags.config.warmup_txns = 1000;
+  flags.config.max_sim_time = 60'000'000'000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h" || !ParseFlag(arg, &flags)) {
+      PrintUsage(argv[0]);
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+  const gtpl::Status status = flags.config.Validate();
+  if (!status.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n",
+                 status.ToString().c_str());
+    return 2;
+  }
+
+  std::printf("protocol %s, %d clients, latency %lld (+U[0,%lld], spread "
+              "%.2f), %d items, ops %d-%d, pr %.2f, zipf %.2f\n\n",
+              gtpl::proto::ToString(flags.config.protocol),
+              flags.config.num_clients,
+              static_cast<long long>(flags.config.latency),
+              static_cast<long long>(flags.config.latency_jitter),
+              flags.config.latency_spread, flags.config.workload.num_items,
+              flags.config.workload.min_items_per_txn,
+              flags.config.workload.max_items_per_txn,
+              flags.config.workload.read_prob,
+              flags.config.workload.zipf_theta);
+
+  const gtpl::harness::PointResult point =
+      gtpl::harness::RunReplicated(flags.config, flags.runs);
+  gtpl::harness::Table table({"metric", "value"});
+  table.AddRow({"replications", std::to_string(flags.runs)});
+  table.AddRow({"mean response time",
+                gtpl::harness::FmtCi(point.response.mean,
+                                     point.response.ci_half_width)});
+  table.AddRow({"relative precision",
+                gtpl::harness::Fmt(100 * point.response.relative_precision,
+                                   2) +
+                    "%"});
+  table.AddRow({"abort percentage",
+                gtpl::harness::FmtCi(point.abort_pct.mean,
+                                     point.abort_pct.ci_half_width, 2)});
+  table.AddRow({"throughput (commits/1000u)",
+                gtpl::harness::Fmt(point.throughput.mean, 3)});
+  table.AddRow({"messages per commit",
+                gtpl::harness::Fmt(point.mean_messages_per_commit, 1)});
+  if (flags.config.protocol == gtpl::proto::Protocol::kG2pl) {
+    table.AddRow({"mean forward-list length",
+                  gtpl::harness::Fmt(point.fl_length.mean, 2)});
+  }
+  table.AddRow({"committed transactions", std::to_string(point.total_commits)});
+  table.AddRow({"aborted transactions", std::to_string(point.total_aborts)});
+  table.Print();
+  if (point.any_timed_out) {
+    std::fprintf(stderr, "\nWARNING: at least one replication hit the "
+                         "simulation horizon before finishing.\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// WAN scaling demo: the paper's headline claim on one page. Sweeps the six
+// Table-2 network environments at the Table-1 workload and prints how the
+// two protocols scale from a single-segment LAN to a large WAN, including
+// the response-time histogram of the s-WAN point.
+//
+//   ./build/examples/wan_scaling [read_prob]   (default 0.6)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/table.h"
+#include "net/latency_model.h"
+#include "protocols/config.h"
+#include "protocols/engine.h"
+#include "stats/histogram.h"
+
+namespace {
+
+gtpl::proto::RunResult RunOne(gtpl::proto::Protocol protocol,
+                              gtpl::SimTime latency, double read_prob) {
+  gtpl::proto::SimConfig config;
+  config.protocol = protocol;
+  config.num_clients = 50;
+  config.latency = latency;
+  config.workload.read_prob = read_prob;
+  config.measured_txns = 3000;
+  config.warmup_txns = 300;
+  config.seed = 2026;
+  config.max_sim_time = 60'000'000'000;
+  return gtpl::proto::RunSimulation(config);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double read_prob = argc > 1 ? std::atof(argv[1]) : 0.6;
+  if (read_prob < 0.0 || read_prob > 1.0) {
+    std::fprintf(stderr, "read_prob must be in [0,1]\n");
+    return 2;
+  }
+  std::printf(
+      "g-2PL vs s-2PL across the paper's network environments\n"
+      "(50 clients, 25 hot items, 1-5 items/txn, read probability %.2f)\n\n",
+      read_prob);
+  gtpl::harness::Table table({"environment", "latency", "s-2PL resp",
+                              "g-2PL resp", "improvement", "g-2PL FL len"});
+  gtpl::proto::RunResult swan_g2pl;
+  for (const gtpl::net::NetworkEnvironment& env :
+       gtpl::net::PaperEnvironments()) {
+    const gtpl::proto::RunResult s2pl =
+        RunOne(gtpl::proto::Protocol::kS2pl, env.latency, read_prob);
+    gtpl::proto::RunResult g2pl =
+        RunOne(gtpl::proto::Protocol::kG2pl, env.latency, read_prob);
+    table.AddRow(
+        {env.abbreviation, std::to_string(env.latency),
+         gtpl::harness::Fmt(s2pl.response.mean(), 0),
+         gtpl::harness::Fmt(g2pl.response.mean(), 0),
+         gtpl::harness::Fmt(100.0 *
+                                (s2pl.response.mean() - g2pl.response.mean()) /
+                                s2pl.response.mean(),
+                            1) +
+             "%",
+         gtpl::harness::Fmt(g2pl.mean_forward_list_length, 2)});
+    if (env.latency == 500) swan_g2pl = std::move(g2pl);
+  }
+  table.Print();
+
+  std::printf("\ns-WAN g-2PL response-time distribution:\n");
+  gtpl::stats::Histogram histogram(3.0 * swan_g2pl.response.max() / 2, 24);
+  // Re-run to collect the distribution (RunResult keeps only moments).
+  gtpl::proto::SimConfig config;
+  config.protocol = gtpl::proto::Protocol::kG2pl;
+  config.num_clients = 50;
+  config.latency = 500;
+  config.workload.read_prob = read_prob;
+  config.measured_txns = 3000;
+  config.warmup_txns = 300;
+  config.seed = 2026;
+  config.record_history = true;
+  config.max_sim_time = 60'000'000'000;
+  const gtpl::proto::RunResult detailed = gtpl::proto::RunSimulation(config);
+  for (const gtpl::proto::CommittedTxn& txn : detailed.history) {
+    histogram.Add(static_cast<double>(txn.commit_time - txn.start_time));
+  }
+  std::printf("%s", histogram.ToAscii().c_str());
+  std::printf("p50 = %.0f   p90 = %.0f   p99 = %.0f time units\n",
+              histogram.Quantile(0.5), histogram.Quantile(0.9),
+              histogram.Quantile(0.99));
+  return 0;
+}

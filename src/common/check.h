@@ -1,0 +1,55 @@
+#ifndef GTPL_COMMON_CHECK_H_
+#define GTPL_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace gtpl {
+namespace internal {
+
+/// Prints the failure message and aborts. Out-of-line so that the fast path
+/// of a passing check stays tiny.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+/// Stream collector used by the CHECK macros' << tail.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckMessage(const CheckMessage&) = delete;
+  CheckMessage& operator=(const CheckMessage&) = delete;
+
+  [[noreturn]] ~CheckMessage() { CheckFailed(file_, line_, expr_, out_.str()); }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    out_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream out_;
+};
+
+}  // namespace internal
+}  // namespace gtpl
+
+/// Invariant checks. The project does not use exceptions (Google style); a
+/// violated invariant is a bug and terminates the process with a diagnostic.
+#define GTPL_CHECK(cond)                                          \
+  while (!(cond))                                                 \
+  ::gtpl::internal::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define GTPL_CHECK_EQ(a, b) GTPL_CHECK((a) == (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GTPL_CHECK_NE(a, b) GTPL_CHECK((a) != (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GTPL_CHECK_LT(a, b) GTPL_CHECK((a) < (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GTPL_CHECK_LE(a, b) GTPL_CHECK((a) <= (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GTPL_CHECK_GT(a, b) GTPL_CHECK((a) > (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GTPL_CHECK_GE(a, b) GTPL_CHECK((a) >= (b)) << " [" << (a) << " vs " << (b) << "] "
+
+#endif  // GTPL_COMMON_CHECK_H_

@@ -1,0 +1,49 @@
+#ifndef GTPL_COMMON_STATUS_H_
+#define GTPL_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace gtpl {
+
+/// Result of a fallible public operation (configuration validation, CLI
+/// parsing, ...). Internal invariant violations use GTPL_CHECK instead.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument = 1,
+    kFailedPrecondition = 2,
+    kNotFound = 3,
+  };
+
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(Code::kInvalidArgument, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(Code::kFailedPrecondition, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(Code::kNotFound, std::move(message));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>" for diagnostics.
+  std::string ToString() const;
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+}  // namespace gtpl
+
+#endif  // GTPL_COMMON_STATUS_H_

@@ -1,0 +1,73 @@
+#include "core/forward_list.h"
+
+#include "common/check.h"
+
+namespace gtpl::core {
+
+ForwardList::ForwardList(std::vector<FlEntry> entries)
+    : entries_(std::move(entries)) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const FlEntry& e = entries_[i];
+    GTPL_CHECK(!e.members.empty());
+    if (!e.is_read_group) GTPL_CHECK_EQ(e.members.size(), 1u);
+    if (i > 0 && e.is_read_group) {
+      GTPL_CHECK(!entries_[i - 1].is_read_group)
+          << "adjacent read groups must be coalesced";
+    }
+  }
+}
+
+const FlEntry& ForwardList::entry(int32_t i) const {
+  GTPL_CHECK_GE(i, 0);
+  GTPL_CHECK_LT(static_cast<size_t>(i), entries_.size());
+  return entries_[static_cast<size_t>(i)];
+}
+
+int32_t ForwardList::num_members() const {
+  int32_t n = 0;
+  for (const FlEntry& e : entries_) n += e.size();
+  return n;
+}
+
+std::vector<TxnId> ForwardList::MemberTxns() const {
+  std::vector<TxnId> out;
+  for (const FlEntry& e : entries_) {
+    for (const FlMember& m : e.members) out.push_back(m.txn);
+  }
+  return out;
+}
+
+std::string ForwardList::DebugString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) out += " ";
+    const FlEntry& e = entries_[i];
+    out += e.is_read_group ? "R{" : "W{";
+    for (size_t j = 0; j < e.members.size(); ++j) {
+      if (j > 0) out += ",";
+      out += "T" + std::to_string(e.members[j].txn);
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+void ForwardListBuilder::Add(TxnId txn, SiteId client, LockMode mode) {
+  const bool read = mode == LockMode::kShared;
+  if (read && !entries_.empty() && entries_.back().is_read_group) {
+    entries_.back().members.push_back(FlMember{txn, client});
+    return;
+  }
+  FlEntry entry;
+  entry.is_read_group = read;
+  entry.members.push_back(FlMember{txn, client});
+  entries_.push_back(std::move(entry));
+}
+
+std::shared_ptr<const ForwardList> ForwardListBuilder::Build() {
+  GTPL_CHECK(!entries_.empty());
+  return std::make_shared<const ForwardList>(std::move(entries_));
+}
+
+}  // namespace gtpl::core

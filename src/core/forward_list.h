@@ -1,0 +1,81 @@
+#ifndef GTPL_CORE_FORWARD_LIST_H_
+#define GTPL_CORE_FORWARD_LIST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gtpl::core {
+
+/// One transaction's slot on a forward list.
+struct FlMember {
+  TxnId txn = kInvalidTxn;
+  SiteId client = 0;
+};
+
+/// One entry of a forward list: either a *read group* (one or more clients
+/// that receive copies simultaneously and read in parallel) or a single
+/// writer with exclusive access. Adjacent reads are always coalesced into
+/// one group, so two consecutive read-group entries never occur.
+struct FlEntry {
+  bool is_read_group = false;
+  std::vector<FlMember> members;  // exactly 1 member when !is_read_group
+
+  int32_t size() const { return static_cast<int32_t>(members.size()); }
+};
+
+/// The forward list of one collection window (paper §3.2): the dispatch
+/// order of every client granted the data item in this window, with markers
+/// delimiting parallel shared accesses and serial exclusive accesses.
+///
+/// Immutable once dispatched; messages carry shared_ptr<const ForwardList>
+/// plus a position, mirroring the copy of the FL that accompanies each data
+/// transfer in the real protocol. (The read-group-expansion extension
+/// appends to the final read group before any copy has been consumed; the
+/// window manager re-publishes a new snapshot in that case.)
+class ForwardList {
+ public:
+  explicit ForwardList(std::vector<FlEntry> entries);
+
+  int32_t num_entries() const { return static_cast<int32_t>(entries_.size()); }
+  const FlEntry& entry(int32_t i) const;
+
+  /// Total member slots across entries.
+  int32_t num_members() const;
+
+  /// All member transaction ids, in entry order.
+  std::vector<TxnId> MemberTxns() const;
+
+  /// True when `entry_index` is the final entry.
+  bool IsLastEntry(int32_t entry_index) const {
+    return entry_index + 1 == num_entries();
+  }
+
+  /// e.g. "[R{T3,T7} W{T9} R{T2}]" for debugging and traces.
+  std::string DebugString() const;
+
+ private:
+  std::vector<FlEntry> entries_;
+};
+
+/// Builds a forward list from an ordered request sequence, coalescing
+/// adjacent shared requests into read groups.
+class ForwardListBuilder {
+ public:
+  void Add(TxnId txn, SiteId client, LockMode mode);
+
+  bool empty() const { return entries_.empty(); }
+
+  /// Finalizes into an immutable list. The builder is left empty.
+  std::shared_ptr<const ForwardList> Build();
+
+ private:
+  std::vector<FlEntry> entries_;
+};
+
+}  // namespace gtpl::core
+
+#endif  // GTPL_CORE_FORWARD_LIST_H_

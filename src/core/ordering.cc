@@ -1,0 +1,41 @@
+#include "core/ordering.h"
+
+#include <algorithm>
+
+namespace gtpl::core {
+
+const char* ToString(OrderingPolicy policy) {
+  switch (policy) {
+    case OrderingPolicy::kFifo:
+      return "fifo";
+    case OrderingPolicy::kReadsFirst:
+      return "reads-first";
+    case OrderingPolicy::kWritesFirst:
+      return "writes-first";
+  }
+  return "unknown";
+}
+
+std::vector<PendingRequest> ApplyPolicy(OrderingPolicy policy,
+                                        std::vector<PendingRequest> batch) {
+  switch (policy) {
+    case OrderingPolicy::kFifo:
+      // Batches are collected in arrival order already; keep it.
+      break;
+    case OrderingPolicy::kReadsFirst:
+      std::stable_partition(batch.begin(), batch.end(),
+                            [](const PendingRequest& r) {
+                              return r.mode == LockMode::kShared;
+                            });
+      break;
+    case OrderingPolicy::kWritesFirst:
+      std::stable_partition(batch.begin(), batch.end(),
+                            [](const PendingRequest& r) {
+                              return r.mode == LockMode::kExclusive;
+                            });
+      break;
+  }
+  return batch;
+}
+
+}  // namespace gtpl::core

@@ -1,0 +1,55 @@
+#include "db/recovery.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gtpl::db {
+
+RecoveryResult Recover(const WriteAheadLog& log, DataStore* store) {
+  GTPL_CHECK(store != nullptr);
+  RecoveryResult result;
+  // Pass 1: outcomes. A transaction is a winner iff a commit record exists
+  // in the retained suffix; kInstall records are server-side and count as
+  // their own (already-permanent) class.
+  std::unordered_set<TxnId> winners;
+  std::unordered_set<TxnId> losers;
+  for (const LogRecord& record : log.records()) {
+    if (record.lsn > log.durable_lsn()) break;  // never redo volatile tail
+    switch (record.kind) {
+      case LogRecordKind::kCommit:
+        winners.insert(record.txn);
+        ++result.committed_txns;
+        break;
+      case LogRecordKind::kAbort:
+        losers.insert(record.txn);
+        ++result.aborted_txns;
+        break;
+      default:
+        break;
+    }
+  }
+  // Pass 2: redo in log order.
+  for (const LogRecord& record : log.records()) {
+    if (record.lsn > log.durable_lsn()) break;
+    const bool is_update = record.kind == LogRecordKind::kUpdate ||
+                           record.kind == LogRecordKind::kInstall;
+    if (!is_update) continue;
+    const bool winner = record.kind == LogRecordKind::kInstall ||
+                        winners.count(record.txn) > 0;
+    if (!winner) {
+      ++result.skipped_updates;
+      continue;
+    }
+    if (store->VersionOf(record.item) < record.version) {
+      store->Install(record.item, record.version);
+      ++result.redone_updates;
+    } else {
+      ++result.skipped_updates;  // already permanent: idempotent redo
+    }
+  }
+  return result;
+}
+
+}  // namespace gtpl::db

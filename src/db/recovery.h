@@ -1,0 +1,32 @@
+#ifndef GTPL_DB_RECOVERY_H_
+#define GTPL_DB_RECOVERY_H_
+
+#include <unordered_set>
+
+#include "common/types.h"
+#include "db/data_store.h"
+#include "db/wal.h"
+
+namespace gtpl::db {
+
+/// Result of replaying a write-ahead log into a data store.
+struct RecoveryResult {
+  int64_t redone_updates = 0;    // committed updates applied
+  int64_t skipped_updates = 0;   // losers' updates (no commit record)
+  int64_t committed_txns = 0;
+  int64_t aborted_txns = 0;
+};
+
+/// Redo-only restart over the retained (durable, non-truncated) log suffix:
+/// the standard WAL discipline the paper assumes for both protocols
+/// ("each site uses WAL and garbage collects its log once the data are made
+/// permanent at the server"). Updates of transactions with a commit record
+/// are re-installed into `store` unless the store already holds a version
+/// at least as new (idempotent); updates of loser transactions (abort
+/// record or no outcome at all) are skipped — clients keep before-images
+/// implicitly by never installing uncommitted state into the store.
+RecoveryResult Recover(const WriteAheadLog& log, DataStore* store);
+
+}  // namespace gtpl::db
+
+#endif  // GTPL_DB_RECOVERY_H_

@@ -1,0 +1,84 @@
+#include "harness/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace gtpl::harness {
+namespace {
+
+bool ParseInt64(const char* text, int64_t* out) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Status ParseCli(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) -> const char* {
+      const size_t len = std::strlen(prefix);
+      if (arg.compare(0, len, prefix) == 0) return arg.c_str() + len;
+      return nullptr;
+    };
+    int64_t value = 0;
+    if (const char* v = value_of("--txns=")) {
+      if (!ParseInt64(v, &value) || value < 1) {
+        return Status::InvalidArgument("bad --txns");
+      }
+      options->scale.measured_txns = value;
+    } else if (const char* v2 = value_of("--warmup=")) {
+      if (!ParseInt64(v2, &value) || value < 0) {
+        return Status::InvalidArgument("bad --warmup");
+      }
+      options->scale.warmup_txns = value;
+    } else if (const char* v3 = value_of("--runs=")) {
+      if (!ParseInt64(v3, &value) || value < 1 || value > 100) {
+        return Status::InvalidArgument("bad --runs");
+      }
+      options->scale.runs = static_cast<int32_t>(value);
+    } else if (const char* v4 = value_of("--seed=")) {
+      if (!ParseInt64(v4, &value) || value < 0) {
+        return Status::InvalidArgument("bad --seed");
+      }
+      options->scale.base_seed = static_cast<uint64_t>(value);
+    } else if (const char* v5 = value_of("--csv=")) {
+      options->csv_path = v5;
+    } else if (arg == "--full") {
+      options->scale.measured_txns = 50000;
+      options->scale.warmup_txns = 5000;
+      options->scale.runs = 5;
+    } else if (arg == "--quick") {
+      options->scale.measured_txns = 800;
+      options->scale.warmup_txns = 100;
+      options->scale.runs = 2;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: %s [--txns=N] [--warmup=N] [--runs=N] [--seed=N] "
+                   "[--full] [--quick] [--csv=PATH]\n",
+                   argv[0]);
+      return Status::InvalidArgument("help requested");
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Status::InvalidArgument("unknown flag " + arg);
+    }
+  }
+  return Status::Ok();
+}
+
+void PrintBanner(const std::string& title, const CliOptions& options) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf(
+      "scale: %lld measured txns (+%lld warmup) x %d replications, "
+      "seed %llu\n\n",
+      static_cast<long long>(options.scale.measured_txns),
+      static_cast<long long>(options.scale.warmup_txns), options.scale.runs,
+      static_cast<unsigned long long>(options.scale.base_seed));
+}
+
+}  // namespace gtpl::harness

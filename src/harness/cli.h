@@ -1,0 +1,32 @@
+#ifndef GTPL_HARNESS_CLI_H_
+#define GTPL_HARNESS_CLI_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "harness/experiment.h"
+
+namespace gtpl::harness {
+
+/// Common command line of the bench binaries:
+///   --txns=N     measured transactions per replication (default 4000)
+///   --warmup=N   warmup transactions (default 400)
+///   --runs=N     replications per point (default 3)
+///   --seed=N     base seed (default 42)
+///   --full       paper scale: 50000 measured txns, 5 replications
+///   --quick      smoke scale: 800 measured txns, 2 replications
+///   --csv=PATH   also write the main table as CSV
+struct CliOptions {
+  ExperimentScale scale;
+  std::string csv_path;
+};
+
+/// Parses argv. On error prints usage to stderr and returns a non-ok status.
+Status ParseCli(int argc, char** argv, CliOptions* options);
+
+/// Prints the standard bench banner (experiment id + scale in use).
+void PrintBanner(const std::string& title, const CliOptions& options);
+
+}  // namespace gtpl::harness
+
+#endif  // GTPL_HARNESS_CLI_H_

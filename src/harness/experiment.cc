@@ -1,0 +1,53 @@
+#include "harness/experiment.h"
+
+#include "common/check.h"
+
+namespace gtpl::harness {
+
+PointResult RunReplicated(proto::SimConfig config, int32_t runs) {
+  GTPL_CHECK_GE(runs, 1);
+  PointResult out;
+  std::vector<double> responses;
+  std::vector<double> abort_pcts;
+  std::vector<double> throughputs;
+  std::vector<double> fl_lengths;
+  double messages = 0.0;
+  double payload = 0.0;
+  double expansions = 0.0;
+  const uint64_t base_seed = config.seed;
+  for (int32_t rep = 0; rep < runs; ++rep) {
+    config.seed = base_seed + static_cast<uint64_t>(rep) + 1;
+    proto::RunResult result = proto::RunSimulation(config);
+    responses.push_back(result.response.mean());
+    abort_pcts.push_back(result.AbortPercent());
+    throughputs.push_back(result.Throughput());
+    fl_lengths.push_back(result.mean_forward_list_length);
+    out.total_commits += result.commits;
+    out.total_aborts += result.aborts;
+    out.any_timed_out = out.any_timed_out || result.timed_out;
+    if (result.commits > 0) {
+      messages += static_cast<double>(result.network.messages) /
+                  static_cast<double>(result.commits);
+      payload += static_cast<double>(result.network.payload_units) /
+                 static_cast<double>(result.commits);
+      expansions += static_cast<double>(result.read_group_expansions) /
+                    static_cast<double>(result.commits);
+    }
+  }
+  out.response = stats::Summarize(responses);
+  out.abort_pct = stats::Summarize(abort_pcts);
+  out.throughput = stats::Summarize(throughputs);
+  out.fl_length = stats::Summarize(fl_lengths);
+  out.mean_messages_per_commit = messages / runs;
+  out.mean_payload_per_commit = payload / runs;
+  out.expansions_per_commit = expansions / runs;
+  return out;
+}
+
+void ApplyScale(const ExperimentScale& scale, proto::SimConfig* config) {
+  config->measured_txns = scale.measured_txns;
+  config->warmup_txns = scale.warmup_txns;
+  config->seed = scale.base_seed;
+}
+
+}  // namespace gtpl::harness

@@ -1,0 +1,49 @@
+#ifndef GTPL_HARNESS_EXPERIMENT_H_
+#define GTPL_HARNESS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "protocols/engine.h"
+#include "stats/replication.h"
+
+namespace gtpl::harness {
+
+/// Aggregated metrics of one configuration point across R independent
+/// replications (the paper: 5 runs, 95% Student-t confidence intervals,
+/// relative precision kept under 2%).
+struct PointResult {
+  stats::ReplicationSummary response;      // mean transaction response time
+  stats::ReplicationSummary abort_pct;     // % transactions aborted
+  stats::ReplicationSummary throughput;    // commits per 1000 time units
+  stats::ReplicationSummary fl_length;     // mean forward-list length (g-2PL)
+  double mean_messages_per_commit = 0.0;
+  double mean_payload_per_commit = 0.0;  // abstract units (net::k*Payload)
+  double expansions_per_commit = 0.0;  // g-2PL read-group expansions
+  int64_t total_commits = 0;
+  int64_t total_aborts = 0;
+  bool any_timed_out = false;
+};
+
+/// Runs `runs` replications of `config` with seeds seed+1 ... seed+runs and
+/// aggregates. `mutate_seed` of the config itself is ignored.
+PointResult RunReplicated(proto::SimConfig config, int32_t runs);
+
+/// How hard the bench binaries drive each point. Paper scale is 50000
+/// measured transactions x 5 replications; the default is scaled down to
+/// keep the full suite in minutes (shapes are stable well before that).
+struct ExperimentScale {
+  int64_t measured_txns = 4000;
+  int64_t warmup_txns = 400;
+  int32_t runs = 3;
+  uint64_t base_seed = 42;
+};
+
+/// Applies a scale to a config (txns + warmup + seed).
+void ApplyScale(const ExperimentScale& scale, proto::SimConfig* config);
+
+}  // namespace gtpl::harness
+
+#endif  // GTPL_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,49 @@
+#include "net/latency_model.h"
+
+#include "common/check.h"
+
+namespace gtpl::net {
+
+UniformLatency::UniformLatency(SimTime latency) : latency_(latency) {
+  GTPL_CHECK_GE(latency, 0);
+}
+
+SimTime UniformLatency::Latency(SiteId from, SiteId to) {
+  (void)from;
+  (void)to;
+  return latency_;
+}
+
+MatrixLatency::MatrixLatency(std::vector<std::vector<SimTime>> matrix,
+                             SimTime jitter, uint64_t seed)
+    : matrix_(std::move(matrix)), jitter_(jitter), rng_(seed) {
+  GTPL_CHECK_GE(jitter, 0);
+  for (const auto& row : matrix_) {
+    GTPL_CHECK_EQ(row.size(), matrix_.size());
+    for (SimTime v : row) GTPL_CHECK_GE(v, 0);
+  }
+}
+
+SimTime MatrixLatency::Latency(SiteId from, SiteId to) {
+  GTPL_CHECK_GE(from, 0);
+  GTPL_CHECK_GE(to, 0);
+  GTPL_CHECK_LT(static_cast<size_t>(from), matrix_.size());
+  GTPL_CHECK_LT(static_cast<size_t>(to), matrix_.size());
+  SimTime base = matrix_[static_cast<size_t>(from)][static_cast<size_t>(to)];
+  if (jitter_ > 0) base += rng_.UniformInt(0, jitter_);
+  return base;
+}
+
+const std::vector<NetworkEnvironment>& PaperEnvironments() {
+  static const auto* kEnvironments = new std::vector<NetworkEnvironment>{
+      {"Single Segment Local Area Network", "ss-LAN", 1},
+      {"Multi-Segment Local Area Network", "ms-LAN", 50},
+      {"Campus Area Network", "CAN", 100},
+      {"Metropolitan Area Network", "MAN", 250},
+      {"Small Wide Area Network", "s-WAN", 500},
+      {"Large Wide Area Network", "l-WAN", 750},
+  };
+  return *kEnvironments;
+}
+
+}  // namespace gtpl::net

@@ -1,0 +1,68 @@
+#ifndef GTPL_NET_LATENCY_MODEL_H_
+#define GTPL_NET_LATENCY_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "rng/rng.h"
+
+namespace gtpl::net {
+
+/// Maps a (source, destination) site pair to a one-way network latency.
+///
+/// The paper's model: transmission delay is negligible at gigabit rates, so
+/// the latency is the propagation + switching delay, assumed identical
+/// between any two sites and in both directions. That is UniformLatency;
+/// per-link matrices and jitter are extensions for sensitivity studies.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// One-way delay for a message sent now from `from` to `to`.
+  virtual SimTime Latency(SiteId from, SiteId to) = 0;
+};
+
+/// The paper's model: one constant for every site pair.
+class UniformLatency : public LatencyModel {
+ public:
+  explicit UniformLatency(SimTime latency);
+
+  SimTime Latency(SiteId from, SiteId to) override;
+
+  SimTime latency() const { return latency_; }
+
+ private:
+  SimTime latency_;
+};
+
+/// Extension: per-pair base latency plus uniformly distributed jitter.
+class MatrixLatency : public LatencyModel {
+ public:
+  /// `matrix[from][to]` = base latency; must be square and non-negative.
+  /// `jitter` adds U[0, jitter] per message (0 disables).
+  MatrixLatency(std::vector<std::vector<SimTime>> matrix, SimTime jitter,
+                uint64_t seed);
+
+  SimTime Latency(SiteId from, SiteId to) override;
+
+ private:
+  std::vector<std::vector<SimTime>> matrix_;
+  SimTime jitter_;
+  rng::Rng rng_;
+};
+
+/// Named network environments from the paper's Table 2.
+struct NetworkEnvironment {
+  const char* name;
+  const char* abbreviation;
+  SimTime latency;
+};
+
+/// The six environments of Table 2 (ss-LAN=1 ... l-WAN=750 time units).
+const std::vector<NetworkEnvironment>& PaperEnvironments();
+
+}  // namespace gtpl::net
+
+#endif  // GTPL_NET_LATENCY_MODEL_H_

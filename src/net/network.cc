@@ -1,0 +1,35 @@
+#include "net/network.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace gtpl::net {
+
+Network::Network(sim::Simulator* simulator,
+                 std::unique_ptr<LatencyModel> latency)
+    : simulator_(simulator), latency_(std::move(latency)) {
+  GTPL_CHECK(simulator_ != nullptr);
+  GTPL_CHECK(latency_ != nullptr);
+}
+
+void Network::Send(SiteId from, SiteId to, std::string label,
+                   std::function<void()> on_deliver, uint64_t payload) {
+  const SimTime delay = latency_->Latency(from, to);
+  ++stats_.messages;
+  stats_.payload_units += payload;
+  if (from == kServerSite) {
+    ++stats_.server_to_client;
+  } else if (to == kServerSite) {
+    ++stats_.client_to_server;
+  } else {
+    ++stats_.client_to_client;
+  }
+  if (tracing_) {
+    trace_.push_back(TraceRecord{simulator_->Now(), simulator_->Now() + delay,
+                                 from, to, std::move(label)});
+  }
+  simulator_->Schedule(delay, std::move(on_deliver));
+}
+
+}  // namespace gtpl::net

@@ -1,0 +1,81 @@
+#ifndef GTPL_NET_NETWORK_H_
+#define GTPL_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/latency_model.h"
+#include "sim/simulator.h"
+
+namespace gtpl::net {
+
+/// Statistics a Network keeps about the traffic it carried. Payload is
+/// counted in abstract units (see kControlPayload etc. below): the paper
+/// argues message *size* is not the constraint at gigabit rates, and the
+/// payload counters let benches show g-2PL's larger-but-fewer messages.
+struct NetworkStats {
+  uint64_t messages = 0;
+  uint64_t server_to_client = 0;
+  uint64_t client_to_server = 0;
+  uint64_t client_to_client = 0;
+  uint64_t payload_units = 0;
+};
+
+/// Abstract payload sizes: a control message (request, release, ack,
+/// abort), one data-item copy, and one forward-list slot rider.
+inline constexpr uint64_t kControlPayload = 1;
+inline constexpr uint64_t kDataPayload = 8;
+inline constexpr uint64_t kFlSlotPayload = 1;
+
+/// Optional per-message trace record, consumed by the quickstart example to
+/// print protocol timelines.
+struct TraceRecord {
+  SimTime send_time;
+  SimTime deliver_time;
+  SiteId from;
+  SiteId to;
+  std::string label;
+};
+
+/// Message transport over the simulator: Send() schedules the delivery
+/// callback `latency(from, to)` ticks in the future. Protocol payloads live
+/// in the closure, so the transport is protocol-agnostic; message size is
+/// deliberately not modeled (the paper: "the size of the message is less of
+/// a concern than the number of rounds of message passing").
+class Network {
+ public:
+  Network(sim::Simulator* simulator, std::unique_ptr<LatencyModel> latency);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Delivers `on_deliver` at the destination after the model's latency.
+  /// `label` is used only when tracing is enabled; `payload` is the abstract
+  /// message size recorded in the stats (default: a control message).
+  void Send(SiteId from, SiteId to, std::string label,
+            std::function<void()> on_deliver,
+            uint64_t payload = kControlPayload);
+
+  /// Starts recording TraceRecords (for examples / debugging).
+  void EnableTracing() { tracing_ = true; }
+  const std::vector<TraceRecord>& trace() const { return trace_; }
+
+  const NetworkStats& stats() const { return stats_; }
+  sim::Simulator* simulator() const { return simulator_; }
+  LatencyModel* latency_model() const { return latency_.get(); }
+
+ private:
+  sim::Simulator* simulator_;
+  std::unique_ptr<LatencyModel> latency_;
+  NetworkStats stats_;
+  bool tracing_ = false;
+  std::vector<TraceRecord> trace_;
+};
+
+}  // namespace gtpl::net
+
+#endif  // GTPL_NET_NETWORK_H_

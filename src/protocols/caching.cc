@@ -1,0 +1,647 @@
+// Client-caching concurrency-control protocols (extensions beyond the
+// paper's evaluation; §1 names the families, §6 defers the comparison):
+//
+//  * c-2PL  — caching 2PL: clients cache *data* across transactions; every
+//    access still takes a per-transaction server lock, but the reply omits
+//    the data when the cached copy is current. With negligible transmission
+//    delay (the paper's WAN model) it behaves like s-2PL in rounds — an
+//    honest negative result the comparison bench shows.
+//  * CBL    — callback locking: clients cache data and *read permission*
+//    across transactions; a writer's exclusive request triggers callbacks to
+//    all caching clients and waits for their acknowledgements (deferred
+//    while a local transaction has the copy pinned).
+//  * O2PL   — optimistic 2PL: clients read/write cached copies with no
+//    synchronous permission checks; commit runs a server-side backward
+//    certification (validate read versions, install writes, invalidate
+//    remote copies). Conflicts cost aborts instead of blocking.
+
+#include "protocols/caching.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "db/lock_table.h"
+#include "db/waits_for_graph.h"
+
+namespace gtpl::proto {
+namespace {
+
+// ---------------------------------------------------------------------------
+// c-2PL
+// ---------------------------------------------------------------------------
+
+/// Caching 2PL. Server side is a strict-2PL lock table exactly like s-2PL;
+/// the only difference is client data caching, which saves payload bytes but
+/// (by design of the latency model) no rounds. Cache hits are counted so the
+/// protocol-comparison bench can report the (lack of) benefit.
+class C2plEngine : public EngineBase {
+ public:
+  explicit C2plEngine(const SimConfig& config)
+      : EngineBase(config),
+        lock_table_(config.workload.num_items),
+        caches_(static_cast<size_t>(config.num_clients)) {}
+
+  int64_t cache_hits() const { return cache_hits_; }
+
+ protected:
+  void SendRequest(TxnRun& run) override {
+    const TxnId txn = run.id;
+    const SiteId site = run.site();
+    const workload::Operation op = run.op();
+    network().Send(site, kServerSite, "lock-request",
+                   [this, txn, site, op] {
+                     ServerOnRequest(txn, site, op.item, op.mode);
+                   });
+  }
+
+  void DoCommit(TxnRun& run) override {
+    std::vector<std::pair<ItemId, Version>> updates;
+    auto& cache = caches_[static_cast<size_t>(run.client_index)];
+    for (const OpRecord& record : run.records) {
+      if (record.mode == LockMode::kExclusive) {
+        updates.emplace_back(record.item, record.version_written);
+        cache[record.item] = record.version_written;
+      } else {
+        cache[record.item] = record.version_read;
+      }
+    }
+    const TxnId txn = run.id;
+    network().Send(run.site(), kServerSite, "release",
+                   [this, txn, updates = std::move(updates)] {
+                     ServerOnRelease(txn, updates);
+                   });
+  }
+
+  void OnClientAborted(TxnRun& run) override {
+    // Locally updated copies are dirty; drop them.
+    auto& cache = caches_[static_cast<size_t>(run.client_index)];
+    for (const OpRecord& record : run.records) {
+      if (record.mode == LockMode::kExclusive) cache.erase(record.item);
+    }
+  }
+
+ private:
+  void ServerOnRequest(TxnId txn, SiteId site, ItemId item, LockMode mode) {
+    if (server_aborted_.count(txn) > 0) return;
+    const db::LockResult outcome = lock_table_.Request(txn, item, mode);
+    if (outcome == db::LockResult::kGranted) {
+      SendGrant(txn, site, item);
+      return;
+    }
+    wfg_.AddWaits(txn, lock_table_.Blockers(txn, item));
+    if (!wfg_.CycleThrough(txn).empty()) ServerAbort(txn);
+  }
+
+  void SendGrant(TxnId txn, SiteId site, ItemId item) {
+    const Version version = store().VersionOf(item);
+    auto& cache = caches_[static_cast<size_t>(site - 1)];
+    auto cached = cache.find(item);
+    const bool hit = cached != cache.end() && cached->second == version;
+    if (hit) ++cache_hits_;
+    network().Send(
+        kServerSite, site, hit ? "grant(validate)" : "grant+data",
+        [this, txn, item, version] {
+          TxnRun* run = FindRun(txn);
+          if (run == nullptr || run->finished || run->doomed) {
+            return;
+          }
+          GTPL_CHECK_EQ(run->op().item, item);
+          OpGranted(*run, version);
+        },
+        hit ? net::kControlPayload
+            : net::kControlPayload + net::kDataPayload);
+  }
+
+  void ServerOnRelease(TxnId txn,
+                       const std::vector<std::pair<ItemId, Version>>& updates) {
+    GTPL_CHECK_EQ(server_aborted_.count(txn), 0u);
+    for (const auto& [item, version] : updates) {
+      store().Install(item, version);
+      const int64_t lsn = server_wal().Append(db::LogRecordKind::kInstall,
+                                              txn, item, version);
+      server_wal().Force(lsn);
+      // Remote cached copies of `item` are now stale; they fail validation
+      // on their next access (detection-based consistency).
+    }
+    MaybeGcClientLogs();
+    wfg_.RemoveTxn(txn);
+    ReleaseLocks(txn);
+  }
+
+  void ReleaseLocks(TxnId txn) {
+    lock_table_.ReleaseAll(txn, [this](TxnId granted, ItemId item,
+                                       LockMode mode) {
+      (void)mode;
+      wfg_.ClearWaits(granted);
+      TxnRun* run = FindRun(granted);
+      if (run != nullptr) SendGrant(granted, run->site(), item);
+    });
+  }
+
+  void ServerAbort(TxnId victim) {
+    GTPL_CHECK(server_aborted_.insert(victim).second);
+    wfg_.RemoveTxn(victim);
+    ReleaseLocks(victim);
+    TxnRun* run = FindRun(victim);
+    GTPL_CHECK(run != nullptr);
+    ServerAbortDecision(victim, run->site());
+  }
+
+  db::LockTable lock_table_;
+  db::WaitsForGraph wfg_;
+  std::unordered_set<TxnId> server_aborted_;
+  std::vector<std::unordered_map<ItemId, Version>> caches_;
+  int64_t cache_hits_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// CBL — callback locking
+// ---------------------------------------------------------------------------
+
+class CblEngine : public EngineBase {
+ public:
+  explicit CblEngine(const SimConfig& config)
+      : EngineBase(config),
+        items_(static_cast<size_t>(config.workload.num_items)),
+        clients_cbl_(static_cast<size_t>(config.num_clients)) {}
+
+  int64_t cache_hits() const { return cache_hits_; }
+  int64_t callbacks_sent() const { return callbacks_sent_; }
+
+ protected:
+  void SendRequest(TxnRun& run) override {
+    ClientCbl& cc = clients_cbl_[static_cast<size_t>(run.client_index)];
+    if (run.current_op == 0) cc.pins.clear();  // a fresh transaction
+    const workload::Operation op = run.op();
+    if (op.mode == LockMode::kShared) {
+      auto cached = cc.cache.find(op.item);
+      if (cached != cc.cache.end()) {
+        // Read permission is retained across transactions: local access.
+        ++cache_hits_;
+        cc.pins.insert(op.item);
+        OpGranted(run, cached->second);
+        return;
+      }
+    }
+    const TxnId txn = run.id;
+    const SiteId site = run.site();
+    network().Send(site, kServerSite, "cbl-request",
+                   [this, txn, site, op] {
+                     ServerOnRequest(txn, site, op.item, op.mode);
+                   });
+  }
+
+  void DoCommit(TxnRun& run) override {
+    ClientCbl& cc = clients_cbl_[static_cast<size_t>(run.client_index)];
+    std::vector<std::pair<ItemId, Version>> updates;
+    for (const OpRecord& record : run.records) {
+      if (record.mode == LockMode::kExclusive) {
+        updates.emplace_back(record.item, record.version_written);
+        // CB-read downgrade: the writer keeps the copy with read permission.
+        cc.cache[record.item] = record.version_written;
+      } else {
+        cc.cache[record.item] = record.version_read;
+      }
+    }
+    FlushDeferredAcks(run.client_index);
+    if (!updates.empty()) {
+      const TxnId txn = run.id;
+      const uint64_t payload =
+          net::kControlPayload + net::kDataPayload * updates.size();
+      network().Send(
+          run.site(), kServerSite, "cbl-commit",
+          [this, txn, updates = std::move(updates)] {
+            ServerOnCommit(txn, updates);
+          },
+          payload);
+    }
+    cc.pins.clear();
+  }
+
+  void OnClientAborted(TxnRun& run) override {
+    ClientCbl& cc = clients_cbl_[static_cast<size_t>(run.client_index)];
+    for (const OpRecord& record : run.records) {
+      if (record.mode == LockMode::kExclusive) cc.cache.erase(record.item);
+    }
+    FlushDeferredAcks(run.client_index);
+    cc.pins.clear();
+    // If the victim held the exclusive lock or was queued, the server
+    // cleaned that up at decision time (ServerAbort).
+  }
+
+  void FillProtocolMetrics(RunResult* result) override { (void)result; }
+
+ private:
+  struct PendingReq {
+    TxnId txn;
+    SiteId site;
+    LockMode mode;
+  };
+  struct ItemCbl {
+    std::unordered_set<SiteId> copy_set;   // clients with read permission
+    TxnId x_holder = kInvalidTxn;
+    std::deque<PendingReq> queue;          // FIFO; head X may be collecting
+    int32_t acks_outstanding = 0;          // callbacks pending for head X
+  };
+  struct ClientCbl {
+    std::unordered_map<ItemId, Version> cache;
+    std::unordered_set<ItemId> pins;       // items used by the current txn
+    std::vector<ItemId> deferred_acks;     // callbacks answered at txn end
+  };
+
+  void ServerOnRequest(TxnId txn, SiteId site, ItemId item, LockMode mode) {
+    if (server_aborted_.count(txn) > 0) return;
+    ItemCbl& it = items_[static_cast<size_t>(item)];
+    if (it.x_holder == kInvalidTxn && it.queue.empty()) {
+      if (mode == LockMode::kShared) {
+        GrantShared(txn, site, item);
+        return;
+      }
+      it.queue.push_back(PendingReq{txn, site, mode});
+      StartCallbackCollection(item);
+      if (it.queue.empty() || it.queue.front().txn != txn) return;
+      if (it.acks_outstanding == 0) GrantHead(item);
+      return;
+    }
+    it.queue.push_back(PendingReq{txn, site, mode});
+    AddWaitEdges(txn, item);
+    if (!wfg_.CycleThrough(txn).empty()) ServerAbort(txn, item);
+  }
+
+  void GrantShared(TxnId txn, SiteId site, ItemId item) {
+    ItemCbl& it = items_[static_cast<size_t>(item)];
+    it.copy_set.insert(site);
+    const Version version = store().VersionOf(item);
+    // Shared grants ship the data.
+    network().Send(
+        kServerSite, site, "cbl-grant+data",
+        [this, txn, item, version] {
+          TxnRun* run = FindRun(txn);
+          if (run == nullptr || run->finished || run->doomed) {
+            return;
+          }
+          GTPL_CHECK_EQ(run->op().item, item);
+          ClientCbl& cc =
+              clients_cbl_[static_cast<size_t>(run->client_index)];
+          cc.cache[item] = version;
+          cc.pins.insert(item);
+          OpGranted(*run, version);
+        },
+        net::kControlPayload + net::kDataPayload);
+  }
+
+  /// Sends callbacks for the X request at the head of `item`'s queue.
+  void StartCallbackCollection(ItemId item) {
+    ItemCbl& it = items_[static_cast<size_t>(item)];
+    GTPL_CHECK(!it.queue.empty());
+    const PendingReq head = it.queue.front();
+    GTPL_CHECK(head.mode == LockMode::kExclusive);
+    std::vector<SiteId> targets;
+    for (SiteId site : it.copy_set) {
+      if (site != head.site) targets.push_back(site);
+    }
+    it.acks_outstanding = static_cast<int32_t>(targets.size());
+    // Wait edges toward transactions that pin a cached copy right now.
+    std::vector<TxnId> blockers;
+    for (SiteId site : targets) {
+      ++callbacks_sent_;
+      ClientCbl& cc = clients_cbl_[static_cast<size_t>(site - 1)];
+      if (cc.pins.count(item) > 0) {
+        TxnRun* pinner = ClientAt(site - 1).current.get();
+        if (pinner != nullptr && !pinner->finished) {
+          blockers.push_back(pinner->id);
+        }
+      }
+      network().Send(kServerSite, site, "cbl-callback",
+                     [this, site, item, collector = head.txn] {
+                       ClientOnCallback(site, item, collector);
+                     });
+    }
+    if (!blockers.empty()) {
+      wfg_.AddWaits(head.txn, blockers);
+      if (!wfg_.CycleThrough(head.txn).empty()) {
+        ServerAbort(head.txn, item);
+      }
+    }
+  }
+
+  void ClientOnCallback(SiteId site, ItemId item, TxnId collector) {
+    ClientCbl& cc = clients_cbl_[static_cast<size_t>(site - 1)];
+    if (cc.pins.count(item) > 0) {
+      // In use by the running transaction: answer when it ends. The pin may
+      // postdate the collection start (local cache hits need no server
+      // round), so the collector's wait edge is recorded here; a cycle
+      // means the pinner closed a deadlock and is aborted.
+      cc.deferred_acks.push_back(item);
+      TxnRun* pinner = ClientAt(site - 1).current.get();
+      if (pinner != nullptr && !pinner->finished &&
+          server_aborted_.count(collector) == 0 &&
+          server_aborted_.count(pinner->id) == 0) {
+        wfg_.AddWaits(collector, {pinner->id});
+        if (!wfg_.CycleThrough(collector).empty()) {
+          ServerAbort(pinner->id, item);
+        }
+      }
+      return;
+    }
+    cc.cache.erase(item);
+    TxnRun* run = ClientAt(site - 1).current.get();
+    const TxnId acker = run != nullptr ? run->id : kInvalidTxn;
+    network().Send(site, kServerSite, "cbl-ack", [this, site, item, acker] {
+      ServerOnAck(site, item, acker, /*pinned=*/false);
+    });
+  }
+
+  void FlushDeferredAcks(int32_t client_index) {
+    ClientCbl& cc = clients_cbl_[static_cast<size_t>(client_index)];
+    if (cc.deferred_acks.empty()) return;
+    const SiteId site = client_index + 1;
+    TxnRun* run = ClientAt(client_index).current.get();
+    const TxnId acker = run != nullptr ? run->id : kInvalidTxn;
+    for (ItemId item : cc.deferred_acks) {
+      cc.cache.erase(item);
+      network().Send(site, kServerSite, "cbl-ack", [this, site, item, acker] {
+        ServerOnAck(site, item, acker, /*pinned=*/true);
+      });
+    }
+    cc.deferred_acks.clear();
+  }
+
+  void ServerOnAck(SiteId site, ItemId item, TxnId acker, bool pinned) {
+    if (pinned && acker != kInvalidTxn) wfg_.RemoveTxn(acker);
+    ItemCbl& it = items_[static_cast<size_t>(item)];
+    it.copy_set.erase(site);
+    if (it.acks_outstanding > 0) {
+      --it.acks_outstanding;
+      if (it.acks_outstanding == 0 && !it.queue.empty() &&
+          it.queue.front().mode == LockMode::kExclusive &&
+          it.x_holder == kInvalidTxn) {
+        GrantHead(item);
+      }
+    }
+  }
+
+  void GrantHead(ItemId item) {
+    ItemCbl& it = items_[static_cast<size_t>(item)];
+    while (!it.queue.empty()) {
+      const PendingReq head = it.queue.front();
+      if (server_aborted_.count(head.txn) > 0) {
+        it.queue.pop_front();
+        continue;
+      }
+      if (head.mode == LockMode::kShared) {
+        if (it.x_holder != kInvalidTxn) return;
+        it.queue.pop_front();
+        wfg_.ClearWaits(head.txn);
+        GrantShared(head.txn, head.site, item);
+        continue;  // batch-grant consecutive shared requests
+      }
+      // Exclusive head.
+      if (it.x_holder != kInvalidTxn) return;
+      if (it.acks_outstanding == 0 &&
+          std::none_of(it.copy_set.begin(), it.copy_set.end(),
+                       [&head](SiteId s) { return s != head.site; })) {
+        it.queue.pop_front();
+        it.x_holder = head.txn;
+        wfg_.ClearWaits(head.txn);
+        const Version version = store().VersionOf(item);
+        it.copy_set.insert(head.site);
+        network().Send(
+            kServerSite, head.site, "cbl-grant-x+data",
+            [this, txn = head.txn, item, version] {
+              TxnRun* run = FindRun(txn);
+              if (run == nullptr || run->finished || run->doomed) {
+                return;
+              }
+              GTPL_CHECK_EQ(run->op().item, item);
+              ClientCbl& cc =
+                  clients_cbl_[static_cast<size_t>(run->client_index)];
+              cc.pins.insert(item);
+              OpGranted(*run, version);
+            },
+            net::kControlPayload + net::kDataPayload);
+        return;  // exclusive: nothing behind it can be granted
+      }
+      StartCallbackCollection(item);
+      if (it.acks_outstanding == 0 && it.x_holder == kInvalidTxn &&
+          !it.queue.empty() && it.queue.front().mode == LockMode::kExclusive) {
+        // No callbacks were actually needed (copy set empty or only the
+        // requester); grant immediately rather than stalling forever.
+        continue;
+      }
+      return;
+    }
+  }
+
+  void ServerOnCommit(TxnId txn,
+                      const std::vector<std::pair<ItemId, Version>>& updates) {
+    GTPL_CHECK_EQ(server_aborted_.count(txn), 0u);
+    for (const auto& [item, version] : updates) {
+      store().Install(item, version);
+      const int64_t lsn = server_wal().Append(db::LogRecordKind::kInstall,
+                                              txn, item, version);
+      server_wal().Force(lsn);
+      ItemCbl& it = items_[static_cast<size_t>(item)];
+      GTPL_CHECK_EQ(it.x_holder, txn);
+      it.x_holder = kInvalidTxn;
+      GrantHead(item);
+    }
+    MaybeGcClientLogs();
+    wfg_.RemoveTxn(txn);
+  }
+
+  void ServerAbort(TxnId victim, ItemId requested_item) {
+    (void)requested_item;
+    GTPL_CHECK(server_aborted_.insert(victim).second);
+    wfg_.RemoveTxn(victim);
+    // Drop the victim's queued requests and exclusive holds.
+    for (size_t i = 0; i < items_.size(); ++i) {
+      ItemCbl& it = items_[i];
+      const bool head_was_victim =
+          !it.queue.empty() && it.queue.front().txn == victim;
+      auto pos = std::remove_if(
+          it.queue.begin(), it.queue.end(),
+          [victim](const PendingReq& r) { return r.txn == victim; });
+      it.queue.erase(pos, it.queue.end());
+      if (it.x_holder == victim) it.x_holder = kInvalidTxn;
+      if (head_was_victim) it.acks_outstanding = 0;
+      if (it.x_holder == kInvalidTxn && !it.queue.empty()) {
+        GrantHead(static_cast<ItemId>(i));
+      }
+    }
+    TxnRun* run = FindRun(victim);
+    GTPL_CHECK(run != nullptr);
+    ServerAbortDecision(victim, run->site());
+  }
+
+  void AddWaitEdges(TxnId txn, ItemId item) {
+    ItemCbl& it = items_[static_cast<size_t>(item)];
+    std::vector<TxnId> blockers;
+    if (it.x_holder != kInvalidTxn) blockers.push_back(it.x_holder);
+    for (const PendingReq& r : it.queue) {
+      if (r.txn == txn) break;
+      blockers.push_back(r.txn);  // FIFO: everything ahead blocks
+    }
+    wfg_.AddWaits(txn, blockers);
+  }
+
+  db::WaitsForGraph wfg_;
+  std::vector<ItemCbl> items_;
+  std::vector<ClientCbl> clients_cbl_;
+  std::unordered_set<TxnId> server_aborted_;
+  int64_t cache_hits_ = 0;
+  int64_t callbacks_sent_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// O2PL — optimistic with server-side certification
+// ---------------------------------------------------------------------------
+
+class O2plEngine : public EngineBase {
+ public:
+  explicit O2plEngine(const SimConfig& config)
+      : EngineBase(config),
+        copy_sets_(static_cast<size_t>(config.workload.num_items)),
+        caches_(static_cast<size_t>(config.num_clients)) {}
+
+  int64_t cache_hits() const { return cache_hits_; }
+  int64_t certification_failures() const { return certification_failures_; }
+
+ protected:
+  void SendRequest(TxnRun& run) override {
+    const workload::Operation op = run.op();
+    auto& cache = caches_[static_cast<size_t>(run.client_index)];
+    auto cached = cache.find(op.item);
+    if (cached != cache.end()) {
+      ++cache_hits_;
+      OpGranted(run, cached->second);  // optimistic local access
+      return;
+    }
+    const TxnId txn = run.id;
+    const SiteId site = run.site();
+    network().Send(site, kServerSite, "o2pl-fetch",
+                   [this, txn, site, item = op.item] {
+                     copy_sets_[static_cast<size_t>(item)].insert(site);
+                     const Version version = store().VersionOf(item);
+                     network().Send(kServerSite, site, "o2pl-data",
+                                    [this, txn, item, version] {
+                                      TxnRun* run2 = FindRun(txn);
+                                      if (run2 == nullptr || run2->finished ||
+                                          run2->doomed) {
+                                        return;
+                                      }
+                                      GTPL_CHECK_EQ(run2->op().item, item);
+                                      caches_[static_cast<size_t>(
+                                          run2->client_index)][item] = version;
+                                      OpGranted(*run2, version);
+                                    },
+                                    net::kControlPayload +
+                                        net::kDataPayload);
+                   });
+  }
+
+  void StartCommit(TxnRun& run) override {
+    // Commit = certification round: ship read versions and updates; the
+    // server validates, installs, and invalidates remote copies.
+    const TxnId txn = run.id;
+    const SiteId site = run.site();
+    const std::vector<OpRecord> records = run.records;
+    const uint64_t payload =
+        net::kControlPayload +
+        net::kDataPayload * static_cast<uint64_t>(records.size());
+    network().Send(
+        site, kServerSite, "o2pl-certify",
+        [this, txn, site, records] { Certify(txn, site, records); },
+        payload);
+  }
+
+  void DoCommit(TxnRun& run) override {
+    // Keep the successfully installed versions cached locally.
+    auto& cache = caches_[static_cast<size_t>(run.client_index)];
+    for (const OpRecord& record : run.records) {
+      if (record.mode == LockMode::kExclusive) {
+        cache[record.item] = record.version_written;
+      }
+    }
+  }
+
+  void OnClientAborted(TxnRun& run) override {
+    // Stale reads caused the failure; evict everything the txn touched so
+    // the retry fetches fresh copies.
+    auto& cache = caches_[static_cast<size_t>(run.client_index)];
+    for (const OpRecord& record : run.records) cache.erase(record.item);
+    if (!run.LastOp() || run.records.size() < run.spec.ops.size()) {
+      // also evict the item of the op in flight, if cached stale
+      cache.erase(run.op().item);
+    }
+  }
+
+ private:
+  void Certify(TxnId txn, SiteId site, const std::vector<OpRecord>& records) {
+    bool valid = true;
+    for (const OpRecord& record : records) {
+      if (store().VersionOf(record.item) != record.version_read) {
+        valid = false;
+        break;
+      }
+    }
+    if (!valid) {
+      ++certification_failures_;
+      ServerAbortDecision(txn, site);
+      return;
+    }
+    for (const OpRecord& record : records) {
+      if (record.mode != LockMode::kExclusive) continue;
+      store().Install(record.item, record.version_written);
+      const int64_t lsn = server_wal().Append(db::LogRecordKind::kInstall,
+                                              txn, record.item,
+                                              record.version_written);
+      server_wal().Force(lsn);
+      // Invalidate remote copies.
+      auto& copies = copy_sets_[static_cast<size_t>(record.item)];
+      for (SiteId other : copies) {
+        if (other == site) continue;
+        network().Send(kServerSite, other, "o2pl-invalidate",
+                       [this, other, item = record.item] {
+                         caches_[static_cast<size_t>(other - 1)].erase(item);
+                       });
+      }
+      copies.clear();
+      copies.insert(site);
+    }
+    MaybeGcClientLogs();
+    network().Send(kServerSite, site, "o2pl-commit-ok", [this, txn] {
+      TxnRun* run = FindRun(txn);
+      if (run == nullptr || run->finished || run->doomed) return;
+      FinalizeCommit(*run);
+    });
+  }
+
+  std::vector<std::unordered_set<SiteId>> copy_sets_;
+  std::vector<std::unordered_map<ItemId, Version>> caches_;
+  int64_t cache_hits_ = 0;
+  int64_t certification_failures_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<EngineBase> MakeCachingEngine(const SimConfig& config) {
+  switch (config.protocol) {
+    case Protocol::kC2pl:
+      return std::make_unique<C2plEngine>(config);
+    case Protocol::kCbl:
+      return std::make_unique<CblEngine>(config);
+    case Protocol::kO2pl:
+      return std::make_unique<O2plEngine>(config);
+    default:
+      GTPL_CHECK(false) << "not a caching protocol";
+  }
+  return nullptr;
+}
+
+}  // namespace gtpl::proto

@@ -1,0 +1,17 @@
+#ifndef GTPL_PROTOCOLS_CACHING_H_
+#define GTPL_PROTOCOLS_CACHING_H_
+
+#include <memory>
+
+#include "protocols/engine.h"
+
+namespace gtpl::proto {
+
+/// Builds one of the client-caching protocol engines (c-2PL, CBL, O2PL) —
+/// the caching families the paper names in §1 and defers comparing against
+/// in §6. `config.protocol` selects the variant.
+std::unique_ptr<EngineBase> MakeCachingEngine(const SimConfig& config);
+
+}  // namespace gtpl::proto
+
+#endif  // GTPL_PROTOCOLS_CACHING_H_

@@ -1,0 +1,290 @@
+// Client-side transaction lifecycle shared by every protocol engine.
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "protocols/engine.h"
+#include "rng/rng.h"
+
+namespace gtpl::proto {
+
+EngineBase::EngineBase(const SimConfig& config) : config_(config) {
+  GTPL_CHECK(config.Validate().ok()) << config.Validate().ToString();
+  std::unique_ptr<net::LatencyModel> latency_model;
+  if (config.latency_jitter == 0 && config.latency_spread == 0.0) {
+    latency_model = std::make_unique<net::UniformLatency>(config.latency);
+  } else {
+    // Heterogeneous sites: per-endpoint distance offsets plus optional
+    // per-message jitter (extension beyond the paper's uniform model).
+    const size_t sites = static_cast<size_t>(config.num_clients) + 1;
+    std::vector<SimTime> offset(sites, 0);
+    for (size_t site = 1; site < sites; ++site) {
+      const double position =
+          config.num_clients == 1
+              ? 0.0
+              : static_cast<double>(site - 1) / (config.num_clients - 1) - 0.5;
+      offset[site] = static_cast<SimTime>(
+          static_cast<double>(config.latency) * config.latency_spread *
+          position / 2.0);
+    }
+    std::vector<std::vector<SimTime>> matrix(sites,
+                                             std::vector<SimTime>(sites, 0));
+    for (size_t a = 0; a < sites; ++a) {
+      for (size_t b = 0; b < sites; ++b) {
+        if (a == b) continue;
+        matrix[a][b] =
+            std::max<SimTime>(0, config.latency + offset[a] + offset[b]);
+      }
+    }
+    latency_model = std::make_unique<net::MatrixLatency>(
+        std::move(matrix), config.latency_jitter, config.seed ^ 0x9E3779B9u);
+  }
+  network_ = std::make_unique<net::Network>(&sim_, std::move(latency_model));
+  if (config.trace) network_->EnableTracing();
+  store_ = std::make_unique<db::DataStore>(config.workload.num_items);
+  server_wal_ = std::make_unique<db::WriteAheadLog>(config.wal_force_delay);
+  clients_.resize(static_cast<size_t>(config.num_clients));
+  gc_queues_.resize(static_cast<size_t>(config.num_clients));
+  rng::Rng seeder(config.seed);
+  for (int32_t i = 0; i < config.num_clients; ++i) {
+    ClientState& client = clients_[static_cast<size_t>(i)];
+    client.index = i;
+    client.generator = std::make_unique<workload::WorkloadGenerator>(
+        config.workload, seeder.Next64());
+    client.wal =
+        std::make_unique<db::WriteAheadLog>(config.wal_force_delay);
+  }
+}
+
+EngineBase::ClientState& EngineBase::ClientOfSite(SiteId site) {
+  GTPL_CHECK_GE(site, 1);
+  GTPL_CHECK_LE(static_cast<size_t>(site), clients_.size());
+  return clients_[static_cast<size_t>(site - 1)];
+}
+
+EngineBase::TxnRun* EngineBase::FindRun(TxnId txn) {
+  auto it = txn_client_.find(txn);
+  if (it == txn_client_.end()) return nullptr;
+  TxnRun* run = clients_[static_cast<size_t>(it->second)].current.get();
+  if (run == nullptr || run->id != txn) return nullptr;
+  return run;
+}
+
+RunResult EngineBase::Run() {
+  for (ClientState& client : clients_) {
+    const SimTime idle = client.generator->SampleIdle();
+    sim_.Schedule(idle, [this, index = client.index] {
+      BeginTxn(clients_[static_cast<size_t>(index)]);
+    });
+  }
+  sim_.Run(config_.max_sim_time == 0 ? -1 : config_.max_sim_time);
+  result_.timed_out = measured_commits_ < config_.measured_txns;
+  if (config_.trace) result_.trace = network_->trace();
+  result_.events = sim_.events_executed();
+  result_.end_time = sim_.Now();
+  result_.network = network_->stats();
+  result_.wal_appends = server_wal_->appends();
+  result_.wal_forces = server_wal_->forces();
+  result_.wal_retained = static_cast<int64_t>(server_wal_->size());
+  for (const ClientState& client : clients_) {
+    result_.wal_appends += client.wal->appends();
+    result_.wal_forces += client.wal->forces();
+    result_.wal_retained += static_cast<int64_t>(client.wal->size());
+  }
+  FillProtocolMetrics(&result_);
+  return std::move(result_);
+}
+
+void EngineBase::BeginTxn(ClientState& client) {
+  auto run = std::make_unique<TxnRun>();
+  run->id = next_txn_id_++;
+  run->client_index = client.index;
+  run->spec = client.generator->NextTxn();
+  run->spec.id = run->id;
+  run->start_time = sim_.Now();
+  if (client.current != nullptr) txn_client_.erase(client.current->id);
+  txn_client_[run->id] = client.index;
+  client.current = std::move(run);
+  client.current->request_time = sim_.Now();
+  SendRequest(*client.current);
+}
+
+void EngineBase::ScheduleNextTxn(ClientState& client) {
+  const SimTime idle = client.generator->SampleIdle();
+  sim_.Schedule(idle, [this, index = client.index] {
+    BeginTxn(clients_[static_cast<size_t>(index)]);
+  });
+}
+
+void EngineBase::OpGranted(TxnRun& run, Version version_read) {
+  GTPL_CHECK(!run.finished);
+  if (result_.total_commits >= config_.warmup_txns) {
+    result_.op_wait.Add(static_cast<double>(sim_.Now() - run.request_time));
+  }
+  run.pending_version = version_read;
+  ClientState& client = clients_[static_cast<size_t>(run.client_index)];
+  const SimTime think = client.generator->SampleThink();
+  const TxnId txn = run.id;
+  sim_.Schedule(think, [this, txn, index = run.client_index] {
+    TxnRun* current = clients_[static_cast<size_t>(index)].current.get();
+    if (current == nullptr || current->id != txn) return;  // superseded
+    FinishOp(*current);
+  });
+}
+
+void EngineBase::FinishOp(TxnRun& run) {
+  if (run.doomed || run.finished) return;  // abort decision outran us
+  const workload::Operation& op = run.op();
+  OpRecord record;
+  record.item = op.item;
+  record.mode = op.mode;
+  record.version_read = run.pending_version;
+  record.version_written =
+      op.mode == LockMode::kExclusive ? run.pending_version + 1 : 0;
+  run.records.push_back(record);
+  if (op.mode == LockMode::kExclusive) {
+    ClientState& client = clients_[static_cast<size_t>(run.client_index)];
+    client.wal->Append(db::LogRecordKind::kUpdate, run.id, op.item,
+                       record.version_written);
+  }
+  if (run.LastOp()) {
+    StartCommit(run);
+    return;
+  }
+  ++run.current_op;
+  run.request_time = sim_.Now();
+  SendRequest(run);
+}
+
+void EngineBase::StartCommit(TxnRun& run) {
+  GTPL_CHECK(!run.finished);
+  GTPL_CHECK(!run.doomed);
+  ClientState& client = clients_[static_cast<size_t>(run.client_index)];
+  // WAL discipline: the commit record is forced before the transaction
+  // reports commit; force_delay defaults to 0.
+  const int64_t commit_lsn = client.wal->Append(db::LogRecordKind::kCommit,
+                                                run.id, kInvalidItem, 0);
+  const SimTime force_delay = client.wal->Force(commit_lsn);
+  if (force_delay > 0) {
+    const TxnId txn = run.id;
+    sim_.Schedule(force_delay, [this, txn, index = run.client_index] {
+      TxnRun* current = clients_[static_cast<size_t>(index)].current.get();
+      if (current == nullptr || current->id != txn) return;
+      if (current->doomed) return;
+      FinalizeCommit(*current);
+    });
+    return;
+  }
+  FinalizeCommit(run);
+}
+
+void EngineBase::FinalizeCommit(TxnRun& run) {
+  run.finished = true;
+  ClientState& client = clients_[static_cast<size_t>(run.client_index)];
+  client.restart_streak = 0;
+  ++result_.total_commits;
+  const bool measured = result_.total_commits > config_.warmup_txns;
+  if (measured) {
+    ++result_.commits;
+    result_.response.Add(static_cast<double>(sim_.Now() - run.start_time));
+    if (config_.record_history) {
+      CommittedTxn committed;
+      committed.id = run.id;
+      committed.client = run.site();
+      committed.start_time = run.start_time;
+      committed.commit_time = sim_.Now();
+      committed.ops = run.records;
+      result_.history.push_back(std::move(committed));
+    }
+    ++measured_commits_;
+  } else if (config_.record_history) {
+    // Warmup commits still participate in version chains; record them so the
+    // serializability check sees complete writer histories.
+    CommittedTxn committed;
+    committed.id = run.id;
+    committed.client = run.site();
+    committed.start_time = run.start_time;
+    committed.commit_time = sim_.Now();
+    committed.ops = run.records;
+    result_.history.push_back(std::move(committed));
+  }
+  // Queue the commit's updates for client-log garbage collection once the
+  // server has made them permanent.
+  PendingGc gc;
+  gc.lsn = client.wal->next_lsn() - 1;
+  for (const OpRecord& record : run.records) {
+    if (record.mode == LockMode::kExclusive) {
+      gc.updates.emplace_back(record.item, record.version_written);
+    }
+  }
+  gc_queues_[static_cast<size_t>(run.client_index)].push_back(std::move(gc));
+  DoCommit(run);
+  if (measured_commits_ >= config_.measured_txns) {
+    sim_.Stop();
+    return;
+  }
+  ScheduleNextTxn(client);
+}
+
+void EngineBase::MaybeGcClientLogs() {
+  // The server checkpoints continuously: every installed version is already
+  // in the data store, so the forced prefix of its log can be dropped.
+  if (server_wal_->next_lsn() > 1) {
+    server_wal_->Force(server_wal_->next_lsn() - 1);
+    server_wal_->TruncateThrough(server_wal_->durable_lsn());
+  }
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    auto& queue = gc_queues_[i];
+    db::WriteAheadLog& wal = *clients_[i].wal;
+    while (!queue.empty()) {
+      const PendingGc& front = queue.front();
+      bool permanent = true;
+      for (const auto& [item, version] : front.updates) {
+        if (store_->VersionOf(item) < version) {
+          permanent = false;
+          break;
+        }
+      }
+      if (!permanent) break;
+      wal.Force(front.lsn);
+      wal.TruncateThrough(front.lsn);
+      queue.pop_front();
+    }
+  }
+}
+
+void EngineBase::ServerAbortDecision(TxnId txn, SiteId client_site) {
+  TxnRun* run = FindRun(txn);
+  if (run == nullptr || run->finished || run->doomed) return;
+  run->doomed = true;
+  const int32_t index = run->client_index;
+  // The abort is counted at decision time; the client reacts only when the
+  // notice arrives one latency later.
+  ++result_.total_aborts;
+  if (result_.total_commits >= config_.warmup_txns) {
+    ++result_.aborts;
+    result_.abort_age.Add(static_cast<double>(sim_.Now() - run->start_time));
+    result_.abort_held_items.Add(static_cast<double>(run->records.size()));
+  }
+  if (config_.instant_abort_notice) {
+    sim_.Schedule(0, [this, txn, index] { AbortNoticeArrived(txn, index); });
+  } else {
+    network_->Send(kServerSite, client_site, "abort",
+                   [this, txn, index] { AbortNoticeArrived(txn, index); });
+  }
+}
+
+void EngineBase::AbortNoticeArrived(TxnId txn, int32_t client_index) {
+  ClientState& client = clients_[static_cast<size_t>(client_index)];
+  TxnRun* run = client.current.get();
+  if (run == nullptr || run->id != txn || run->finished) return;
+  run->finished = true;
+  client.wal->Append(db::LogRecordKind::kAbort, txn, kInvalidItem, 0);
+  ++client.restart_streak;
+  OnClientAborted(*run);
+  ScheduleNextTxn(client);
+}
+
+}  // namespace gtpl::proto

@@ -1,0 +1,70 @@
+#include "protocols/config.h"
+
+namespace gtpl::proto {
+
+const char* ToString(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kS2pl:
+      return "s-2PL";
+    case Protocol::kG2pl:
+      return "g-2PL";
+    case Protocol::kC2pl:
+      return "c-2PL";
+    case Protocol::kCbl:
+      return "CBL";
+    case Protocol::kO2pl:
+      return "O2PL";
+  }
+  return "unknown";
+}
+
+Status SimConfig::Validate() const {
+  if (num_clients < 1) {
+    return Status::InvalidArgument("num_clients must be >= 1");
+  }
+  if (latency < 0) return Status::InvalidArgument("latency must be >= 0");
+  if (latency_jitter < 0) {
+    return Status::InvalidArgument("latency_jitter must be >= 0");
+  }
+  if (latency_spread < 0.0 || latency_spread > 1.0) {
+    return Status::InvalidArgument("latency_spread must be in [0,1]");
+  }
+  if (workload.num_items < 1) {
+    return Status::InvalidArgument("num_items must be >= 1");
+  }
+  if (workload.min_items_per_txn < 1 ||
+      workload.min_items_per_txn > workload.max_items_per_txn ||
+      workload.max_items_per_txn > workload.num_items) {
+    return Status::InvalidArgument("items-per-txn range invalid");
+  }
+  if (workload.read_prob < 0.0 || workload.read_prob > 1.0) {
+    return Status::InvalidArgument("read_prob must be in [0,1]");
+  }
+  if (workload.min_think < 0 || workload.min_think > workload.max_think) {
+    return Status::InvalidArgument("think range invalid");
+  }
+  if (workload.min_idle < 0 || workload.min_idle > workload.max_idle) {
+    return Status::InvalidArgument("idle range invalid");
+  }
+  if (measured_txns < 1) {
+    return Status::InvalidArgument("measured_txns must be >= 1");
+  }
+  if (warmup_txns < 0) {
+    return Status::InvalidArgument("warmup_txns must be >= 0");
+  }
+  if (g2pl.max_forward_list_length < 0) {
+    return Status::InvalidArgument("max_forward_list_length must be >= 0");
+  }
+  if (g2pl.aging_threshold < 0) {
+    return Status::InvalidArgument("aging_threshold must be >= 0");
+  }
+  if (wal_force_delay < 0) {
+    return Status::InvalidArgument("wal_force_delay must be >= 0");
+  }
+  if (max_sim_time < 0) {
+    return Status::InvalidArgument("max_sim_time must be >= 0");
+  }
+  return Status::Ok();
+}
+
+}  // namespace gtpl::proto

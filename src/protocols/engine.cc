@@ -1,0 +1,32 @@
+#include "protocols/engine.h"
+
+#include <memory>
+
+#include "common/check.h"
+#include "protocols/caching.h"
+#include "protocols/g2pl.h"
+#include "protocols/s2pl.h"
+
+namespace gtpl::proto {
+
+RunResult RunSimulation(const SimConfig& config) {
+  GTPL_CHECK(config.Validate().ok()) << config.Validate().ToString();
+  std::unique_ptr<EngineBase> engine;
+  switch (config.protocol) {
+    case Protocol::kS2pl:
+      engine = std::make_unique<S2plEngine>(config);
+      break;
+    case Protocol::kG2pl:
+      engine = std::make_unique<G2plEngine>(config);
+      break;
+    case Protocol::kC2pl:
+    case Protocol::kCbl:
+    case Protocol::kO2pl:
+      engine = MakeCachingEngine(config);
+      break;
+  }
+  GTPL_CHECK(engine != nullptr);
+  return engine->Run();
+}
+
+}  // namespace gtpl::proto

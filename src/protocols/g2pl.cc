@@ -1,0 +1,276 @@
+#include "protocols/g2pl.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace gtpl::proto {
+
+G2plEngine::G2plEngine(const SimConfig& config) : EngineBase(config) {
+  core::WindowManager::Callbacks callbacks;
+  callbacks.dispatch = [this](ItemId item, Version version,
+                              std::shared_ptr<const core::ForwardList> fl) {
+    WmDispatch(item, version, std::move(fl));
+  };
+  callbacks.abort = [this](TxnId txn, SiteId client_site) {
+    WmAbort(txn, client_site);
+  };
+  callbacks.expand = [this](ItemId item, Version version,
+                            std::shared_ptr<const core::ForwardList> fl,
+                            TxnId txn, SiteId client_site,
+                            int32_t member_index) {
+    WmExpand(item, version, std::move(fl), txn, client_site, member_index);
+  };
+  callbacks.can_abort = [this](TxnId txn) {
+    TxnRun* run = FindRun(txn);
+    return run != nullptr && !run->finished && !run->doomed;
+  };
+  wm_ = std::make_unique<core::WindowManager>(
+      config.workload.num_items, config.g2pl, &store(), std::move(callbacks));
+}
+
+G2plEngine::TxnState& G2plEngine::EnsureTxn(TxnId txn, int32_t client_index) {
+  auto [it, inserted] = txns_.try_emplace(txn);
+  if (inserted) it->second.client_index = client_index;
+  return it->second;
+}
+
+void G2plEngine::SendRequest(TxnRun& run) {
+  const TxnId txn = run.id;
+  const SiteId site = run.site();
+  const workload::Operation op = run.op();
+  const int32_t restarts = ClientAt(run.client_index).restart_streak;
+  EnsureTxn(txn, run.client_index);
+  network().Send(site, kServerSite, "lock-request",
+                 [this, txn, site, op, restarts] {
+                   wm_->OnRequest(txn, site, op.item, op.mode, restarts);
+                 });
+}
+
+void G2plEngine::WmDispatch(ItemId item, Version version,
+                            std::shared_ptr<const core::ForwardList> fl) {
+  for (int32_t e = 0; e < fl->num_entries(); ++e) {
+    for (const core::FlMember& m : fl->entry(e).members) {
+      TxnState& ts = EnsureTxn(m.txn, m.client - 1);
+      ++ts.slots_outstanding;
+      ts.slot_items.push_back(item);
+    }
+  }
+  DeliverToEntry(kServerSite, item, version, std::move(fl), 0);
+}
+
+void G2plEngine::WmAbort(TxnId txn, SiteId client_site) {
+  ServerAbortDecision(txn, client_site);
+}
+
+void G2plEngine::WmExpand(ItemId item, Version version,
+                          std::shared_ptr<const core::ForwardList> fl,
+                          TxnId txn, SiteId client_site,
+                          int32_t member_index) {
+  TxnState& ts = EnsureTxn(txn, client_site - 1);
+  ++ts.slots_outstanding;
+  ts.slot_items.push_back(item);
+  network().Send(kServerSite, client_site, "data(expand)",
+                 [this, txn, item, version, fl = std::move(fl),
+                  member_index] {
+                   OnData(txn, item, version, fl, 0, member_index, 0);
+                 });
+}
+
+void G2plEngine::DeliverToEntry(SiteId from_site, ItemId item,
+                                Version version,
+                                std::shared_ptr<const core::ForwardList> fl,
+                                int32_t entry_index) {
+  // Data messages carry the item plus a copy of the forward list — the
+  // larger-but-fewer messages the paper deems cheap at gigabit rates.
+  const uint64_t payload =
+      net::kDataPayload +
+      net::kFlSlotPayload * static_cast<uint64_t>(fl->num_members());
+  const core::FlEntry& entry = fl->entry(entry_index);
+  if (!entry.is_read_group) {
+    const core::FlMember writer = entry.members[0];
+    network().Send(
+        from_site, writer.client, "data",
+        [this, txn = writer.txn, item, version, fl, entry_index] {
+          OnData(txn, item, version, fl, entry_index, 0, 0);
+        },
+        payload);
+    return;
+  }
+  for (int32_t j = 0; j < entry.size(); ++j) {
+    const core::FlMember reader = entry.members[static_cast<size_t>(j)];
+    network().Send(
+        from_site, reader.client, "data(copy)",
+        [this, txn = reader.txn, item, version, fl, entry_index, j] {
+          OnData(txn, item, version, fl, entry_index, j, 0);
+        },
+        payload);
+  }
+  // MR1W (paper §3.4): the writer that follows the read group receives the
+  // data at the same time and executes concurrently; it may not release its
+  // update before every reader's release reaches it.
+  if (config().g2pl.mr1w && entry_index + 1 < fl->num_entries()) {
+    const core::FlEntry& next = fl->entry(entry_index + 1);
+    GTPL_CHECK(!next.is_read_group);
+    const core::FlMember writer = next.members[0];
+    network().Send(
+        from_site, writer.client, "data(early)",
+        [this, txn = writer.txn, item, version, fl, entry_index,
+         releases = entry.size()] {
+          OnData(txn, item, version, fl, entry_index + 1, 0, releases);
+        },
+        payload);
+  }
+}
+
+void G2plEngine::OnData(TxnId txn, ItemId item, Version version,
+                        std::shared_ptr<const core::ForwardList> fl,
+                        int32_t entry_index, int32_t member_index,
+                        int32_t early_releases) {
+  if (drained_.count(txn) > 0) return;
+  Obligation& ob = obligations_[ObKey{txn, item}];
+  if (ob.data_arrived) {
+    // A ride-along copy already arrived via a reader release (possible only
+    // with reordering latency models); keep the established state.
+    if (early_releases > 0) ob.releases_needed = early_releases;
+  } else {
+    ob.fl = std::move(fl);
+    ob.entry = entry_index;
+    ob.member = member_index;
+    ob.is_writer = !ob.fl->entry(entry_index).is_read_group;
+    ob.data_arrived = true;
+    ob.version = version;
+    if (early_releases > 0) ob.releases_needed = early_releases;
+  }
+  TxnState& ts = txns_.at(txn);
+  if (ts.finished) {
+    TryForward(txn, item);
+    return;
+  }
+  MaybeGrant(txn, item, ob);
+}
+
+void G2plEngine::OnReaderRelease(TxnId writer_txn, ItemId item,
+                                 Version version,
+                                 std::shared_ptr<const core::ForwardList> fl,
+                                 int32_t writer_entry_index) {
+  if (drained_.count(writer_txn) > 0) return;  // waived wait; already gone
+  Obligation& ob = obligations_[ObKey{writer_txn, item}];
+  if (ob.fl == nullptr) {
+    // Basic mode (MR1W off): the first reader release carries the data.
+    ob.fl = std::move(fl);
+    ob.entry = writer_entry_index;
+    ob.member = 0;
+    ob.is_writer = true;
+    GTPL_CHECK_GT(writer_entry_index, 0);
+    ob.releases_needed = ob.fl->entry(writer_entry_index - 1).size();
+  }
+  ++ob.releases_received;
+  GTPL_CHECK_LE(ob.releases_received, ob.releases_needed);
+  if (!ob.data_arrived) {
+    ob.data_arrived = true;
+    ob.version = version;
+  }
+  if (ob.forwarded) return;  // aborted writer already passed it through
+  TxnState& ts = txns_.at(writer_txn);
+  if (ts.finished) {
+    TryForward(writer_txn, item);
+  } else {
+    MaybeGrant(writer_txn, item, ob);
+  }
+}
+
+void G2plEngine::MaybeGrant(TxnId txn, ItemId item, Obligation& ob) {
+  if (ob.granted || !ob.data_arrived) return;
+  // MR1W early writers may execute immediately; in basic mode a writer
+  // behind a read group starts only once every reader has released to it.
+  if (!config().g2pl.mr1w &&
+      ob.releases_received < ob.releases_needed) {
+    return;
+  }
+  TxnRun* run = FindRun(txn);
+  GTPL_CHECK(run != nullptr) << "live g-2PL txn without a run";
+  if (run->doomed) return;  // abort notice in flight; pass through later
+  GTPL_CHECK_EQ(run->op().item, item)
+      << "grant does not match the sequentially outstanding operation";
+  ob.granted = true;
+  OpGranted(*run, ob.version);
+}
+
+void G2plEngine::TryForward(TxnId txn, ItemId item) {
+  auto it = obligations_.find(ObKey{txn, item});
+  if (it == obligations_.end()) return;  // slot not yet materialized or gone
+  Obligation& ob = it->second;
+  TxnState& ts = txns_.at(txn);
+  if (ob.forwarded || !ob.data_arrived || !ts.finished) return;
+  // A committed writer may not release its update before all reader
+  // releases arrive (MR1W rule); an aborted transaction waits for nothing.
+  if (ts.committed && ob.releases_received < ob.releases_needed) return;
+  ob.forwarded = true;
+  const Version version_out =
+      ts.committed && ob.is_writer ? ob.version + 1 : ob.version;
+  const SiteId from = ts.client_index + 1;
+  if (ob.fl->IsLastEntry(ob.entry)) {
+    network().Send(
+        from, kServerSite, "return",
+        [this, item, version_out] {
+          wm_->OnReturn(item, version_out);
+          MaybeGcClientLogs();
+        },
+        net::kControlPayload + net::kDataPayload);
+  } else if (!ob.is_writer) {
+    const core::FlEntry& next = ob.fl->entry(ob.entry + 1);
+    GTPL_CHECK(!next.is_read_group);
+    const core::FlMember writer = next.members[0];
+    const uint64_t release_payload =
+        config().g2pl.mr1w ? net::kControlPayload
+                           : net::kControlPayload + net::kDataPayload;
+    network().Send(
+        from, writer.client, "reader-release",
+        [this, wt = writer.txn, item, version_out, fl = ob.fl,
+         we = ob.entry + 1] {
+          OnReaderRelease(wt, item, version_out, fl, we);
+        },
+        release_payload);
+  } else {
+    DeliverToEntry(from, item, version_out, ob.fl, ob.entry + 1);
+  }
+  --ts.slots_outstanding;
+  GTPL_CHECK_GE(ts.slots_outstanding, 0);
+  CheckDrain(txn);
+}
+
+void G2plEngine::CheckDrain(TxnId txn) {
+  TxnState& ts = txns_.at(txn);
+  if (ts.drained || !ts.finished || ts.slots_outstanding != 0) return;
+  ts.drained = true;
+  drained_.insert(txn);
+  wm_->OnTxnDrained(txn);
+  for (ItemId item : ts.slot_items) obligations_.erase(ObKey{txn, item});
+}
+
+void G2plEngine::DoCommit(TxnRun& run) {
+  TxnState& ts = EnsureTxn(run.id, run.client_index);
+  ts.finished = true;
+  ts.committed = true;
+  const std::vector<ItemId> items = ts.slot_items;  // TryForward may drain
+  for (ItemId item : items) TryForward(run.id, item);
+  CheckDrain(run.id);
+}
+
+void G2plEngine::OnClientAborted(TxnRun& run) {
+  TxnState& ts = EnsureTxn(run.id, run.client_index);
+  ts.finished = true;
+  ts.committed = false;
+  const std::vector<ItemId> items = ts.slot_items;
+  for (ItemId item : items) TryForward(run.id, item);
+  CheckDrain(run.id);
+}
+
+void G2plEngine::FillProtocolMetrics(RunResult* result) {
+  result->windows_dispatched = wm_->windows_dispatched();
+  result->mean_forward_list_length = wm_->MeanForwardListLength();
+  result->read_group_expansions = wm_->expansions();
+}
+
+}  // namespace gtpl::proto

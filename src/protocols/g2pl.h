@@ -1,0 +1,130 @@
+#ifndef GTPL_PROTOCOLS_G2PL_H_
+#define GTPL_PROTOCOLS_G2PL_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/forward_list.h"
+#include "core/window_manager.h"
+#include "protocols/engine.h"
+
+namespace gtpl::proto {
+
+/// Group two-phase locking (paper §3): the server collects requests into
+/// forward lists; data items migrate client-to-client along the list, fusing
+/// each lock release with the next grant; deadlocks are avoided by keeping
+/// the transaction precedence graph acyclic; MR1W lets the writer following
+/// a read group run concurrently with its readers.
+///
+/// The server-side brain is core::WindowManager; this engine supplies the
+/// messaging and the client-side obligation tracking (an *obligation* is one
+/// occupied slot on a dispatched forward list: receive the data, process it
+/// if the transaction is alive, and forward it downstream at commit — or
+/// pass it through unchanged after an abort).
+class G2plEngine : public EngineBase {
+ public:
+  explicit G2plEngine(const SimConfig& config);
+
+  const core::WindowManager& window_manager() const { return *wm_; }
+
+ protected:
+  void SendRequest(TxnRun& run) override;
+  void DoCommit(TxnRun& run) override;
+  void OnClientAborted(TxnRun& run) override;
+  void FillProtocolMetrics(RunResult* result) override;
+
+ private:
+  /// Transaction state that outlives the client's TxnRun: a finished
+  /// transaction still occupies forward-list slots until every one of them
+  /// has been forwarded (only then is it *drained* and leaves the
+  /// precedence graph).
+  struct TxnState {
+    int32_t client_index = 0;
+    bool finished = false;
+    bool committed = false;
+    bool drained = false;
+    int32_t slots_outstanding = 0;
+    std::vector<ItemId> slot_items;
+  };
+
+  /// One slot on a dispatched forward list, tracked at the owning client.
+  struct Obligation {
+    std::shared_ptr<const core::ForwardList> fl;
+    int32_t entry = 0;
+    int32_t member = 0;
+    bool is_writer = false;
+    bool data_arrived = false;
+    Version version = -1;
+    int32_t releases_needed = 0;   // reader releases a writer must collect
+    int32_t releases_received = 0;
+    bool granted = false;   // OpGranted already issued for this slot
+    bool forwarded = false; // slot completed
+  };
+
+  struct ObKey {
+    TxnId txn;
+    ItemId item;
+    bool operator==(const ObKey& other) const {
+      return txn == other.txn && item == other.item;
+    }
+  };
+  struct ObKeyHash {
+    size_t operator()(const ObKey& key) const {
+      return std::hash<int64_t>()(key.txn * 1000003 + key.item);
+    }
+  };
+
+  // --- window-manager callbacks (server side) -------------------------
+  void WmDispatch(ItemId item, Version version,
+                  std::shared_ptr<const core::ForwardList> fl);
+  void WmAbort(TxnId txn, SiteId client_site);
+  void WmExpand(ItemId item, Version version,
+                std::shared_ptr<const core::ForwardList> fl, TxnId txn,
+                SiteId client_site, int32_t member_index);
+
+  // --- data migration --------------------------------------------------
+  /// Sends `version` of `item` to entry `entry_index` of `fl` from
+  /// `from_site` (the server at dispatch, else the forwarding writer):
+  /// copies to every read-group member, or the writer directly; under MR1W
+  /// also the early copy to the writer that follows a read group.
+  void DeliverToEntry(SiteId from_site, ItemId item, Version version,
+                      std::shared_ptr<const core::ForwardList> fl,
+                      int32_t entry_index);
+
+  /// Client receives a data copy for (txn, item) at the given FL position.
+  /// `early_releases` > 0 marks the MR1W early-writer copy.
+  void OnData(TxnId txn, ItemId item, Version version,
+              std::shared_ptr<const core::ForwardList> fl,
+              int32_t entry_index, int32_t member_index,
+              int32_t early_releases);
+
+  /// Client (a writer) receives a reader's release. In basic mode (MR1W
+  /// off) the data rides along with the first release.
+  void OnReaderRelease(TxnId writer_txn, ItemId item, Version version,
+                       std::shared_ptr<const core::ForwardList> fl,
+                       int32_t writer_entry_index);
+
+  /// Routes the grant into the shared client lifecycle when the slot's
+  /// owner is alive and this slot satisfies its current operation.
+  void MaybeGrant(TxnId txn, ItemId item, Obligation& ob);
+
+  /// Forwards the slot if its conditions hold (data present, txn finished,
+  /// releases collected unless aborted).
+  void TryForward(TxnId txn, ItemId item);
+
+  void CheckDrain(TxnId txn);
+
+  TxnState& EnsureTxn(TxnId txn, int32_t client_index);
+
+  std::unique_ptr<core::WindowManager> wm_;
+  std::unordered_map<TxnId, TxnState> txns_;
+  std::unordered_map<ObKey, Obligation, ObKeyHash> obligations_;
+  std::unordered_set<TxnId> drained_;  // ignore late messages for these
+};
+
+}  // namespace gtpl::proto
+
+#endif  // GTPL_PROTOCOLS_G2PL_H_

@@ -1,0 +1,90 @@
+#ifndef GTPL_PROTOCOLS_METRICS_H_
+#define GTPL_PROTOCOLS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/network.h"
+#include "stats/welford.h"
+
+namespace gtpl::proto {
+
+/// One executed operation with the data versions it observed/produced.
+struct OpRecord {
+  ItemId item = kInvalidItem;
+  LockMode mode = LockMode::kShared;
+  Version version_read = 0;
+  Version version_written = 0;  // 0 for reads
+};
+
+/// A committed transaction, for post-hoc serializability verification.
+struct CommittedTxn {
+  TxnId id = kInvalidTxn;
+  SiteId client = 0;
+  SimTime start_time = 0;
+  SimTime commit_time = 0;
+  std::vector<OpRecord> ops;
+};
+
+/// Everything a single simulation run produces.
+struct RunResult {
+  /// Response time over committed transactions in the measured phase.
+  stats::Welford response;
+  /// Per-operation wait: request issued -> data/grant available (all
+  /// transactions, measured phase).
+  stats::Welford op_wait;
+  /// Age (time since start) and completed ops of transactions at the moment
+  /// the server decided to abort them (measured phase) - wasted occupancy.
+  stats::Welford abort_age;
+  stats::Welford abort_held_items;
+  /// Messages each committed transaction's lifetime overlapped is not
+  /// meaningful per-txn; we track total network traffic instead.
+  net::NetworkStats network;
+
+  int64_t commits = 0;         // measured phase
+  int64_t aborts = 0;          // measured phase
+  int64_t total_commits = 0;   // including warmup
+  int64_t total_aborts = 0;    // including warmup
+
+  uint64_t events = 0;
+  SimTime end_time = 0;
+  bool timed_out = false;
+
+  // g-2PL specifics (0 for other protocols).
+  int64_t windows_dispatched = 0;
+  double mean_forward_list_length = 0.0;
+  int64_t read_group_expansions = 0;
+
+  // Recovery substrate counters. `wal_retained` is the number of log
+  // records still held at end of run; garbage collection (triggered when
+  // updates become permanent at the server) keeps it far below appends.
+  int64_t wal_appends = 0;
+  int64_t wal_forces = 0;
+  int64_t wal_retained = 0;
+
+  /// Committed-transaction history (only when record_history was set).
+  std::vector<CommittedTxn> history;
+
+  /// Per-message network trace (only when trace was set).
+  std::vector<net::TraceRecord> trace;
+
+  /// Aborted / (aborted + committed) in the measured phase, in percent —
+  /// the quantity plotted in the paper's Figures 8-15.
+  double AbortPercent() const;
+
+  /// Committed transactions per 1000 time units (throughput).
+  double Throughput() const;
+};
+
+/// Builds the serialization graph of `history` (version-order, reads-from
+/// and read-before-overwrite edges) and returns true iff it is acyclic —
+/// i.e., the execution was (view-)serializable. Used by property tests for
+/// every protocol.
+bool HistoryIsSerializable(const std::vector<CommittedTxn>& history,
+                           std::string* explanation = nullptr);
+
+}  // namespace gtpl::proto
+
+#endif  // GTPL_PROTOCOLS_METRICS_H_

@@ -1,0 +1,127 @@
+#include "protocols/s2pl.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace gtpl::proto {
+
+S2plEngine::S2plEngine(const SimConfig& config)
+    : EngineBase(config), lock_table_(config.workload.num_items) {}
+
+void S2plEngine::SendRequest(TxnRun& run) {
+  const TxnId txn = run.id;
+  const SiteId site = run.site();
+  const workload::Operation op = run.op();
+  network().Send(site, kServerSite, "lock-request",
+                 [this, txn, site, op] {
+                   ServerOnRequest(txn, site, op.item, op.mode);
+                 });
+}
+
+void S2plEngine::ServerOnRequest(TxnId txn, SiteId client_site, ItemId item,
+                                 LockMode mode) {
+  (void)client_site;
+  if (server_aborted_.count(txn) > 0) return;  // stale request of a victim
+  const db::LockResult outcome = lock_table_.Request(txn, item, mode);
+  if (outcome == db::LockResult::kGranted) {
+    SendGrant(txn, item, mode);
+    return;
+  }
+  // Blocked: deadlock detection is initiated whenever a lock cannot be
+  // granted (no timeouts), exactly as the paper's s-2PL model prescribes.
+  wfg_.AddWaits(txn, lock_table_.Blockers(txn, item));
+  while (true) {
+    const std::vector<TxnId> cycle = wfg_.CycleThrough(txn);
+    if (cycle.empty()) break;
+    TxnId victim = txn;
+    if (config().s2pl.victim == S2plOptions::Victim::kYoungest) {
+      victim = *std::max_element(cycle.begin(), cycle.end());
+    }
+    ServerAbort(victim);
+    if (victim == txn) break;
+  }
+}
+
+void S2plEngine::SendGrant(TxnId txn, ItemId item, LockMode mode) {
+  (void)mode;
+  TxnRun* run = FindRun(txn);
+  if (run == nullptr) return;  // finished in the meantime (nothing to ship)
+  const Version version = store().VersionOf(item);
+  network().Send(
+      kServerSite, run->site(), "grant+data",
+      [this, txn, item, version] {
+        TxnRun* target = FindRun(txn);
+        if (target == nullptr || target->finished || target->doomed) {
+          return;
+        }
+        GTPL_CHECK_EQ(target->op().item, item);
+        OpGranted(*target, version);
+      },
+      net::kControlPayload + net::kDataPayload);
+}
+
+void S2plEngine::ServerAbort(TxnId victim) {
+  GTPL_CHECK(server_aborted_.insert(victim).second);
+  ++deadlock_aborts_;
+  wfg_.RemoveTxn(victim);
+  lock_table_.ReleaseAll(victim, [this](TxnId txn, ItemId item,
+                                        LockMode mode) {
+    wfg_.ClearWaits(txn);
+    SendGrant(txn, item, mode);
+  });
+  TxnRun* run = FindRun(victim);
+  GTPL_CHECK(run != nullptr) << "deadlock victim is not an active txn";
+  ServerAbortDecision(victim, run->site());
+}
+
+void S2plEngine::DoCommit(TxnRun& run) {
+  std::vector<Update> updates;
+  for (const OpRecord& record : run.records) {
+    if (record.mode == LockMode::kExclusive) {
+      updates.push_back(Update{record.item, record.version_written});
+    }
+  }
+  const TxnId txn = run.id;
+  const uint64_t payload =
+      net::kControlPayload + net::kDataPayload * updates.size();
+  network().Send(
+      run.site(), kServerSite, "release",
+      [this, txn, updates = std::move(updates)] {
+        ServerOnRelease(txn, updates);
+      },
+      payload);
+}
+
+void S2plEngine::ServerOnRelease(TxnId txn, std::vector<Update> updates) {
+  GTPL_CHECK_EQ(server_aborted_.count(txn), 0u)
+      << "a doomed transaction committed";
+  for (const Update& update : updates) {
+    store().Install(update.item, update.version);
+    const int64_t lsn = server_wal().Append(db::LogRecordKind::kInstall, txn,
+                                            update.item, update.version);
+    server_wal().Force(lsn);
+  }
+  // Data permanent at the server: client log space for this transaction
+  // could now be garbage collected (the paper's recovery assumption); the
+  // client-side WAL truncation is driven from the engine's accounting.
+  MaybeGcClientLogs();
+  wfg_.RemoveTxn(txn);
+  lock_table_.ReleaseAll(txn, [this](TxnId granted, ItemId item,
+                                     LockMode mode) {
+    wfg_.ClearWaits(granted);
+    SendGrant(granted, item, mode);
+  });
+}
+
+void S2plEngine::OnClientAborted(TxnRun& run) {
+  // Server state was already cleaned at decision time; nothing client-side.
+  (void)run;
+}
+
+void S2plEngine::FillProtocolMetrics(RunResult* result) {
+  (void)result;  // deadlock_aborts_ equals total_aborts for s-2PL.
+}
+
+}  // namespace gtpl::proto

@@ -1,0 +1,60 @@
+#ifndef GTPL_PROTOCOLS_S2PL_H_
+#define GTPL_PROTOCOLS_S2PL_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "db/lock_table.h"
+#include "db/waits_for_graph.h"
+#include "protocols/engine.h"
+
+namespace gtpl::proto {
+
+/// Server-based strict two-phase locking (paper §3.1), the baseline.
+///
+/// Clients request one item at a time (sequential execution); the server
+/// grants via a FIFO strict-2PL lock table and ships the data with the
+/// grant. Deadlock detection runs a waits-for-graph cycle check whenever a
+/// lock cannot be granted, aborting the requester (default, the commercial
+/// "detect at block time" style) or the youngest cycle member. At commit the
+/// client returns all modified items in a single release message; the server
+/// installs them, releases the locks, and promotes waiters.
+class S2plEngine : public EngineBase {
+ public:
+  explicit S2plEngine(const SimConfig& config);
+
+  int64_t deadlock_aborts() const { return deadlock_aborts_; }
+
+ protected:
+  void SendRequest(TxnRun& run) override;
+  void DoCommit(TxnRun& run) override;
+  void OnClientAborted(TxnRun& run) override;
+  void FillProtocolMetrics(RunResult* result) override;
+
+ private:
+  struct Update {
+    ItemId item;
+    Version version;
+  };
+
+  // Server-side handlers (run at message-arrival time).
+  void ServerOnRequest(TxnId txn, SiteId client_site, ItemId item,
+                       LockMode mode);
+  void ServerOnRelease(TxnId txn, std::vector<Update> updates);
+
+  /// Sends the granted item's data to the owning client.
+  void SendGrant(TxnId txn, ItemId item, LockMode mode);
+
+  /// Aborts `victim` at the server: drops its locks/queued requests and
+  /// waits-for edges, promotes unblocked waiters, dooms it at the client.
+  void ServerAbort(TxnId victim);
+
+  db::LockTable lock_table_;
+  db::WaitsForGraph wfg_;
+  std::unordered_set<TxnId> server_aborted_;  // ignore their late messages
+  int64_t deadlock_aborts_ = 0;
+};
+
+}  // namespace gtpl::proto
+
+#endif  // GTPL_PROTOCOLS_S2PL_H_

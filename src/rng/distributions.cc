@@ -1,0 +1,47 @@
+#include "rng/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace gtpl::rng {
+
+UniformInt::UniformInt(int64_t lo, int64_t hi) : lo_(lo), hi_(hi) {
+  GTPL_CHECK_LE(lo, hi);
+}
+
+std::vector<int32_t> SampleDistinct(Rng& rng, int32_t n, int32_t k) {
+  GTPL_CHECK_GE(n, k);
+  GTPL_CHECK_GE(k, 0);
+  std::vector<int32_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  for (int32_t i = 0; i < k; ++i) {
+    const int64_t j = rng.UniformInt(i, n - 1);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+Zipf::Zipf(int32_t n, double theta) : n_(n), theta_(theta) {
+  GTPL_CHECK_GT(n, 0);
+  GTPL_CHECK_GE(theta, 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (int32_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+int32_t Zipf::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int32_t>(it - cdf_.begin());
+}
+
+}  // namespace gtpl::rng

@@ -1,0 +1,40 @@
+#ifndef GTPL_RNG_RNG_H_
+#define GTPL_RNG_RNG_H_
+
+#include <cstdint>
+
+namespace gtpl::rng {
+
+/// Deterministic xoshiro256** generator seeded via SplitMix64.
+///
+/// Self-contained (no <random>) so that results are identical across standard
+/// library implementations — replications are defined purely by their seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// Reseeds; the all-zero state is unreachable by construction.
+  void Seed(uint64_t seed);
+
+  /// Next raw 64 random bits.
+  uint64_t Next64();
+
+  /// Uniform integer in [lo, hi], inclusive; lo <= hi. Unbiased (rejection).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (p clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Splits off an independent generator (for per-entity streams).
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace gtpl::rng
+
+#endif  // GTPL_RNG_RNG_H_

@@ -1,0 +1,51 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace gtpl::sim {
+
+void EventQueue::Push(SimTime time, uint64_t seq, std::function<void()> action) {
+  heap_.push_back(Event{time, seq, std::move(action)});
+  SiftUp(heap_.size() - 1);
+}
+
+Event EventQueue::Pop() {
+  GTPL_CHECK(!heap_.empty());
+  Event top = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+  return top;
+}
+
+SimTime EventQueue::PeekTime() const {
+  GTPL_CHECK(!heap_.empty());
+  return heap_.front().time;
+}
+
+void EventQueue::SiftUp(size_t i) {
+  while (i > 0) {
+    size_t parent = (i - 1) / 2;
+    if (!Before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  while (true) {
+    size_t left = 2 * i + 1;
+    size_t right = left + 1;
+    size_t smallest = i;
+    if (left < n && Before(heap_[left], heap_[smallest])) smallest = left;
+    if (right < n && Before(heap_[right], heap_[smallest])) smallest = right;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace gtpl::sim

@@ -1,0 +1,61 @@
+#ifndef GTPL_SIM_EVENT_QUEUE_H_
+#define GTPL_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gtpl::sim {
+
+/// A scheduled callback. Events compare by (time, sequence number), so two
+/// events scheduled for the same tick fire in scheduling order — this is what
+/// makes runs bit-for-bit deterministic.
+struct Event {
+  SimTime time = 0;
+  uint64_t seq = 0;
+  std::function<void()> action;
+};
+
+/// Binary min-heap of events ordered by (time, seq).
+///
+/// A hand-rolled heap rather than std::priority_queue so that (a) Pop can
+/// move the std::function out instead of copying, and (b) the container can
+/// be cleared and reserved explicitly between runs.
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Inserts an event. `seq` must be unique per queue lifetime.
+  void Push(SimTime time, uint64_t seq, std::function<void()> action);
+
+  /// Removes and returns the earliest event. Precondition: !empty().
+  Event Pop();
+
+  /// Time of the earliest event. Precondition: !empty().
+  SimTime PeekTime() const;
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  void Clear() { heap_.clear(); }
+  void Reserve(size_t n) { heap_.reserve(n); }
+
+ private:
+  static bool Before(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+
+  std::vector<Event> heap_;
+};
+
+}  // namespace gtpl::sim
+
+#endif  // GTPL_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,80 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace gtpl::stats {
+
+Histogram::Histogram(double max_value, int32_t num_buckets)
+    : max_value_(max_value),
+      bucket_width_(max_value / num_buckets),
+      buckets_(static_cast<size_t>(num_buckets), 0) {
+  GTPL_CHECK_GT(max_value, 0.0);
+  GTPL_CHECK_GT(num_buckets, 0);
+}
+
+void Histogram::Add(double value) {
+  ++count_;
+  if (value < 0) value = 0;
+  if (value >= max_value_) {
+    ++overflow_;
+    return;
+  }
+  auto index = static_cast<size_t>(value / bucket_width_);
+  if (index >= buckets_.size()) index = buckets_.size() - 1;
+  ++buckets_[index];
+}
+
+double Histogram::Quantile(double q) const {
+  GTPL_CHECK_GE(q, 0.0);
+  GTPL_CHECK_LE(q, 1.0);
+  if (count_ == 0) return 0.0;
+  const auto target = static_cast<int64_t>(q * static_cast<double>(count_));
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (cumulative + buckets_[i] >= target) {
+      const double within =
+          buckets_[i] == 0
+              ? 0.0
+              : static_cast<double>(target - cumulative) /
+                    static_cast<double>(buckets_[i]);
+      return (static_cast<double>(i) + within) * bucket_width_;
+    }
+    cumulative += buckets_[i];
+  }
+  return max_value_;
+}
+
+std::string Histogram::ToAscii(int32_t width) const {
+  int64_t peak = overflow_;
+  for (int64_t b : buckets_) peak = std::max(peak, b);
+  if (peak == 0) return "(empty)\n";
+  std::string out;
+  char line[160];
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const int bar = static_cast<int>(buckets_[i] * width / peak);
+    std::snprintf(line, sizeof(line), "[%8.0f, %8.0f) %8lld |",
+                  static_cast<double>(i) * bucket_width_,
+                  static_cast<double>(i + 1) * bucket_width_,
+                  static_cast<long long>(buckets_[i]));
+    out += line;
+    out.append(static_cast<size_t>(std::max(bar, 1)), '#');
+    out += '\n';
+  }
+  if (overflow_ > 0) {
+    std::snprintf(line, sizeof(line), "[%8.0f,      inf) %8lld |", max_value_,
+                  static_cast<long long>(overflow_));
+    out += line;
+    out.append(
+        static_cast<size_t>(std::max<int>(
+            static_cast<int>(overflow_ * width / peak), 1)),
+        '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gtpl::stats

@@ -1,0 +1,43 @@
+#ifndef GTPL_STATS_HISTOGRAM_H_
+#define GTPL_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gtpl::stats {
+
+/// Fixed-bucket histogram over [0, max) with overflow bucket; used for
+/// response-time distributions in examples and diagnostics.
+class Histogram {
+ public:
+  /// `num_buckets` equal-width buckets spanning [0, max_value); values >=
+  /// max_value land in the overflow bucket.
+  Histogram(double max_value, int32_t num_buckets);
+
+  void Add(double value);
+
+  int64_t count() const { return count_; }
+  int64_t bucket_count(int32_t i) const { return buckets_[i]; }
+  int64_t overflow() const { return overflow_; }
+  int32_t num_buckets() const { return static_cast<int32_t>(buckets_.size()); }
+
+  /// Smallest value v such that at least q (in [0,1]) of samples are <= v,
+  /// linearly interpolated within the bucket. Returns max_value for the
+  /// overflow region.
+  double Quantile(double q) const;
+
+  /// Multi-line ASCII rendering (one row per non-empty bucket).
+  std::string ToAscii(int32_t width = 50) const;
+
+ private:
+  double max_value_;
+  double bucket_width_;
+  std::vector<int64_t> buckets_;
+  int64_t overflow_ = 0;
+  int64_t count_ = 0;
+};
+
+}  // namespace gtpl::stats
+
+#endif  // GTPL_STATS_HISTOGRAM_H_

@@ -1,0 +1,39 @@
+#include "stats/replication.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/welford.h"
+
+namespace gtpl::stats {
+
+double StudentT95(int64_t df) {
+  GTPL_CHECK_GE(df, 1);
+  // Two-sided 95% critical values; df > 30 approximated by the normal value.
+  static constexpr double kTable[31] = {
+      0,      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+      2.042};
+  if (df <= 30) return kTable[df];
+  return 1.96;
+}
+
+ReplicationSummary Summarize(const std::vector<double>& per_run_values) {
+  ReplicationSummary out;
+  Welford acc;
+  for (double v : per_run_values) acc.Add(v);
+  out.runs = acc.count();
+  out.mean = acc.mean();
+  out.stddev = acc.stddev();
+  if (out.runs >= 2) {
+    out.ci_half_width = StudentT95(out.runs - 1) * out.stddev /
+                        std::sqrt(static_cast<double>(out.runs));
+    if (out.mean != 0.0) {
+      out.relative_precision = out.ci_half_width / std::abs(out.mean);
+    }
+  }
+  return out;
+}
+
+}  // namespace gtpl::stats

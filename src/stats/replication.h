@@ -1,0 +1,29 @@
+#ifndef GTPL_STATS_REPLICATION_H_
+#define GTPL_STATS_REPLICATION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gtpl::stats {
+
+/// Summary of one metric across independent replications, following the
+/// paper's method: R runs with distinct seeds, 95% Student-t confidence
+/// interval on the mean, relative precision = half-width / mean.
+struct ReplicationSummary {
+  int64_t runs = 0;
+  double mean = 0.0;
+  double stddev = 0.0;          // across-run sample stddev
+  double ci_half_width = 0.0;   // 95% CI half width (0 when runs < 2)
+  double relative_precision = 0.0;  // ci_half_width / |mean| (0 if mean == 0)
+};
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom
+/// (df >= 1; large df converge to 1.96).
+double StudentT95(int64_t df);
+
+/// Aggregates per-run point estimates into a cross-run summary.
+ReplicationSummary Summarize(const std::vector<double>& per_run_values);
+
+}  // namespace gtpl::stats
+
+#endif  // GTPL_STATS_REPLICATION_H_

@@ -1,0 +1,36 @@
+#ifndef GTPL_STATS_WELFORD_H_
+#define GTPL_STATS_WELFORD_H_
+
+#include <cstdint>
+
+namespace gtpl::stats {
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+class Welford {
+ public:
+  Welford() = default;
+
+  void Add(double x);
+
+  /// Merges another accumulator (parallel-combine form).
+  void Merge(const Welford& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace gtpl::stats
+
+#endif  // GTPL_STATS_WELFORD_H_

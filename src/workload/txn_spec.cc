@@ -1,0 +1,33 @@
+#include "workload/txn_spec.h"
+
+#include <cstdio>
+
+namespace gtpl::workload {
+
+bool TxnSpec::IsReadOnly() const {
+  for (const Operation& op : ops) {
+    if (op.mode == LockMode::kExclusive) return false;
+  }
+  return true;
+}
+
+int32_t TxnSpec::NumWrites() const {
+  int32_t writes = 0;
+  for (const Operation& op : ops) {
+    if (op.mode == LockMode::kExclusive) ++writes;
+  }
+  return writes;
+}
+
+std::string TxnSpec::DebugString() const {
+  std::string out = "T" + std::to_string(id) + ":";
+  char buf[32];
+  for (const Operation& op : ops) {
+    std::snprintf(buf, sizeof(buf), " %s(%d)",
+                  op.mode == LockMode::kShared ? "r" : "w", op.item);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace gtpl::workload

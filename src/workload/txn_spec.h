@@ -1,0 +1,32 @@
+#ifndef GTPL_WORKLOAD_TXN_SPEC_H_
+#define GTPL_WORKLOAD_TXN_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gtpl::workload {
+
+/// One data access of a transaction.
+struct Operation {
+  ItemId item = kInvalidItem;
+  LockMode mode = LockMode::kShared;
+};
+
+/// The access plan of one transaction: distinct items, executed
+/// sequentially in order (the paper's sequential execution pattern — the
+/// request for operation i+1 is issued only after operation i's data has
+/// arrived and its think time elapsed).
+struct TxnSpec {
+  TxnId id = kInvalidTxn;
+  std::vector<Operation> ops;
+
+  bool IsReadOnly() const;
+  int32_t NumWrites() const;
+  std::string DebugString() const;
+};
+
+}  // namespace gtpl::workload
+
+#endif  // GTPL_WORKLOAD_TXN_SPEC_H_

@@ -1,0 +1,135 @@
+// Protocol-level tests of the caching extensions (c-2PL, CBL, O2PL).
+
+#include "protocols/caching.h"
+
+#include <gtest/gtest.h>
+
+#include "protocols/engine.h"
+
+namespace gtpl::proto {
+namespace {
+
+SimConfig BaseConfig(Protocol protocol) {
+  SimConfig config;
+  config.protocol = protocol;
+  config.num_clients = 10;
+  config.latency = 100;
+  config.workload.num_items = 10;
+  config.workload.read_prob = 0.8;
+  config.measured_txns = 600;
+  config.warmup_txns = 60;
+  config.seed = 33;
+  config.max_sim_time = 1'000'000'000;
+  return config;
+}
+
+double MessagesPerCommit(const RunResult& result) {
+  return static_cast<double>(result.network.messages) /
+         static_cast<double>(result.commits);
+}
+
+TEST(CachingTest, C2plMatchesS2plRounds) {
+  // Caching 2PL saves payload bytes, not rounds: in the latency-dominated
+  // model its response time tracks s-2PL closely.
+  SimConfig config = BaseConfig(Protocol::kS2pl);
+  const RunResult s2pl = RunSimulation(config);
+  config.protocol = Protocol::kC2pl;
+  const RunResult c2pl = RunSimulation(config);
+  ASSERT_FALSE(c2pl.timed_out);
+  EXPECT_NEAR(c2pl.response.mean() / s2pl.response.mean(), 1.0, 0.1);
+}
+
+TEST(CachingTest, CblSavesMessagesOnReadMostlyWorkload) {
+  SimConfig config = BaseConfig(Protocol::kS2pl);
+  config.workload.read_prob = 0.95;
+  const RunResult s2pl = RunSimulation(config);
+  config.protocol = Protocol::kCbl;
+  const RunResult cbl = RunSimulation(config);
+  ASSERT_FALSE(cbl.timed_out);
+  // Cached read permissions avoid request/grant rounds entirely.
+  EXPECT_LT(MessagesPerCommit(cbl), MessagesPerCommit(s2pl));
+  EXPECT_LT(cbl.response.mean(), s2pl.response.mean());
+}
+
+TEST(CachingTest, CblCallbackStormsOnWriteContendedHotSet) {
+  // The flip side of callback locking: frequent writes to a small hot set
+  // trigger callbacks to every caching client, so CBL sends *more* messages
+  // than s-2PL there (the classic CB-read trade-off).
+  SimConfig config = BaseConfig(Protocol::kS2pl);
+  config.workload.read_prob = 0.8;
+  const RunResult s2pl = RunSimulation(config);
+  config.protocol = Protocol::kCbl;
+  const RunResult cbl = RunSimulation(config);
+  ASSERT_FALSE(cbl.timed_out);
+  EXPECT_GT(MessagesPerCommit(cbl), MessagesPerCommit(s2pl));
+}
+
+TEST(CachingTest, CblWriteHeavyStillLive) {
+  SimConfig config = BaseConfig(Protocol::kCbl);
+  config.workload.read_prob = 0.2;
+  config.record_history = true;
+  const RunResult result = RunSimulation(config);
+  ASSERT_FALSE(result.timed_out);
+  std::string why;
+  EXPECT_TRUE(HistoryIsSerializable(result.history, &why)) << why;
+}
+
+TEST(CachingTest, O2plReadOnlyNeverAborts) {
+  SimConfig config = BaseConfig(Protocol::kO2pl);
+  config.workload.read_prob = 1.0;
+  const RunResult result = RunSimulation(config);
+  ASSERT_FALSE(result.timed_out);
+  EXPECT_EQ(result.aborts, 0);
+}
+
+TEST(CachingTest, O2plAbortsOnCertificationConflicts) {
+  SimConfig config = BaseConfig(Protocol::kO2pl);
+  config.workload.read_prob = 0.2;
+  const RunResult result = RunSimulation(config);
+  ASSERT_FALSE(result.timed_out);
+  EXPECT_GT(result.aborts, 0);
+}
+
+TEST(CachingTest, O2plResponseIncludesCertificationRound) {
+  // A read-only cache-miss transaction costs fetch (2L) per op plus the
+  // certification round (2L): response >= 4L for single-op transactions.
+  SimConfig config = BaseConfig(Protocol::kO2pl);
+  config.num_clients = 1;
+  config.workload.read_prob = 0.0;
+  config.workload.min_items_per_txn = 1;
+  config.workload.max_items_per_txn = 1;
+  config.workload.num_items = 100000;  // cache misses essentially always
+  config.workload.max_items_per_txn = 1;
+  config.measured_txns = 20;
+  config.warmup_txns = 0;
+  const RunResult result = RunSimulation(config);
+  ASSERT_FALSE(result.timed_out);
+  EXPECT_GE(result.response.mean(), 4 * 100.0);
+}
+
+TEST(CachingTest, CblSingleClientReadsBecomeLocal) {
+  SimConfig config = BaseConfig(Protocol::kCbl);
+  config.num_clients = 1;
+  config.workload.read_prob = 1.0;
+  config.measured_txns = 300;
+  const RunResult result = RunSimulation(config);
+  ASSERT_FALSE(result.timed_out);
+  // After the cache warms, every read hits locally: far fewer messages
+  // than two per operation.
+  EXPECT_LT(MessagesPerCommit(result), 1.0);
+}
+
+TEST(CachingTest, AllCachingProtocolsDeterministic) {
+  for (Protocol protocol :
+       {Protocol::kC2pl, Protocol::kCbl, Protocol::kO2pl}) {
+    SimConfig config = BaseConfig(protocol);
+    config.measured_txns = 200;
+    const RunResult a = RunSimulation(config);
+    const RunResult b = RunSimulation(config);
+    EXPECT_EQ(a.events, b.events) << ToString(protocol);
+    EXPECT_EQ(a.response.mean(), b.response.mean()) << ToString(protocol);
+  }
+}
+
+}  // namespace
+}  // namespace gtpl::proto

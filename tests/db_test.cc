@@ -1,0 +1,309 @@
+// Unit tests for the database substrate: lock table, waits-for graph,
+// versioned data store, and the write-ahead log.
+
+#include "db/lock_table.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "db/data_store.h"
+#include "db/waits_for_graph.h"
+#include "db/recovery.h"
+#include "db/wal.h"
+
+namespace gtpl::db {
+namespace {
+
+std::vector<TxnId> granted_log;
+
+LockTable::GrantCallback Recorder() {
+  return [](TxnId txn, ItemId item, LockMode mode) {
+    (void)item;
+    (void)mode;
+    granted_log.push_back(txn);
+  };
+}
+
+class LockTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override { granted_log.clear(); }
+  LockTable table_{4};
+};
+
+TEST_F(LockTableTest, ExclusiveGrantsImmediatelyWhenFree) {
+  EXPECT_EQ(table_.Request(1, 0, LockMode::kExclusive), LockResult::kGranted);
+  EXPECT_TRUE(table_.Holds(1, 0));
+  EXPECT_EQ(table_.NumHolders(0), 1);
+}
+
+TEST_F(LockTableTest, SharedLocksCoexist) {
+  EXPECT_EQ(table_.Request(1, 0, LockMode::kShared), LockResult::kGranted);
+  EXPECT_EQ(table_.Request(2, 0, LockMode::kShared), LockResult::kGranted);
+  EXPECT_EQ(table_.Request(3, 0, LockMode::kShared), LockResult::kGranted);
+  EXPECT_EQ(table_.NumHolders(0), 3);
+}
+
+TEST_F(LockTableTest, ExclusiveConflictsWithShared) {
+  table_.Request(1, 0, LockMode::kShared);
+  EXPECT_EQ(table_.Request(2, 0, LockMode::kExclusive),
+            LockResult::kWaiting);
+  EXPECT_EQ(table_.NumWaiters(0), 1);
+}
+
+TEST_F(LockTableTest, SharedWaitsBehindQueuedExclusive) {
+  // FIFO fairness: a shared request may not jump an earlier exclusive one.
+  table_.Request(1, 0, LockMode::kShared);
+  table_.Request(2, 0, LockMode::kExclusive);
+  EXPECT_EQ(table_.Request(3, 0, LockMode::kShared), LockResult::kWaiting);
+  EXPECT_EQ(table_.NumWaiters(0), 2);
+}
+
+TEST_F(LockTableTest, ReleasePromotesNextWaiter) {
+  table_.Request(1, 0, LockMode::kExclusive);
+  table_.Request(2, 0, LockMode::kExclusive);
+  table_.ReleaseAll(1, Recorder());
+  EXPECT_EQ(granted_log, (std::vector<TxnId>{2}));
+  EXPECT_TRUE(table_.Holds(2, 0));
+}
+
+TEST_F(LockTableTest, ReleaseBatchGrantsSharedPrefix) {
+  table_.Request(1, 0, LockMode::kExclusive);
+  table_.Request(2, 0, LockMode::kShared);
+  table_.Request(3, 0, LockMode::kShared);
+  table_.Request(4, 0, LockMode::kExclusive);
+  table_.ReleaseAll(1, Recorder());
+  EXPECT_EQ(granted_log, (std::vector<TxnId>{2, 3}));
+  EXPECT_EQ(table_.NumHolders(0), 2);
+  EXPECT_EQ(table_.NumWaiters(0), 1);
+}
+
+TEST_F(LockTableTest, RemovingQueuedRequestUnblocksFollowers) {
+  table_.Request(1, 0, LockMode::kShared);
+  table_.Request(2, 0, LockMode::kExclusive);  // waits
+  table_.Request(3, 0, LockMode::kShared);     // waits behind the X
+  table_.ReleaseAll(2, Recorder());            // abort the X requester
+  EXPECT_EQ(granted_log, (std::vector<TxnId>{3}));
+  EXPECT_EQ(table_.NumHolders(0), 2);
+}
+
+TEST_F(LockTableTest, BlockersIncludeHoldersAndEarlierWaiters) {
+  table_.Request(1, 0, LockMode::kShared);
+  table_.Request(2, 0, LockMode::kExclusive);
+  table_.Request(3, 0, LockMode::kExclusive);
+  const std::vector<TxnId> blockers = table_.Blockers(3, 0);
+  EXPECT_EQ(blockers, (std::vector<TxnId>{1, 2}));
+}
+
+TEST_F(LockTableTest, SharedWaiterNotBlockedByCompatibleAhead) {
+  table_.Request(1, 0, LockMode::kExclusive);
+  table_.Request(2, 0, LockMode::kShared);
+  table_.Request(3, 0, LockMode::kShared);
+  // Txn 3 waits for the holder but not for the compatible queued read.
+  EXPECT_EQ(table_.Blockers(3, 0), (std::vector<TxnId>{1}));
+}
+
+TEST_F(LockTableTest, ReleaseAllCoversMultipleItems) {
+  table_.Request(1, 0, LockMode::kExclusive);
+  table_.Request(1, 1, LockMode::kShared);
+  table_.Request(2, 0, LockMode::kExclusive);
+  table_.Request(2, 1, LockMode::kExclusive);
+  table_.ReleaseAll(1, Recorder());
+  EXPECT_EQ(granted_log, (std::vector<TxnId>{2, 2}));
+  EXPECT_EQ(table_.HeldItems(1).size(), 0u);
+  EXPECT_EQ(table_.HeldItems(2).size(), 2u);
+}
+
+TEST_F(LockTableTest, HeldItemsLists) {
+  table_.Request(1, 0, LockMode::kShared);
+  table_.Request(1, 2, LockMode::kExclusive);
+  const std::vector<ItemId> held = table_.HeldItems(1);
+  EXPECT_EQ(held.size(), 2u);
+}
+
+TEST(WaitsForGraphTest, NoCycleOnChain) {
+  WaitsForGraph wfg;
+  wfg.AddWaits(1, {2});
+  wfg.AddWaits(2, {3});
+  EXPECT_FALSE(wfg.HasCycleFrom(1));
+  EXPECT_TRUE(wfg.CycleThrough(1).empty());
+}
+
+TEST(WaitsForGraphTest, DetectsTwoCycle) {
+  WaitsForGraph wfg;
+  wfg.AddWaits(1, {2});
+  wfg.AddWaits(2, {1});
+  EXPECT_TRUE(wfg.HasCycleFrom(1));
+  const std::vector<TxnId> cycle = wfg.CycleThrough(1);
+  EXPECT_EQ(cycle.size(), 2u);
+}
+
+TEST(WaitsForGraphTest, DetectsLongCycle) {
+  WaitsForGraph wfg;
+  wfg.AddWaits(1, {2});
+  wfg.AddWaits(2, {3});
+  wfg.AddWaits(3, {4});
+  wfg.AddWaits(4, {1});
+  EXPECT_TRUE(wfg.HasCycleFrom(1));
+  EXPECT_EQ(wfg.CycleThrough(1).size(), 4u);
+}
+
+TEST(WaitsForGraphTest, RemoveTxnBreaksCycle) {
+  WaitsForGraph wfg;
+  wfg.AddWaits(1, {2});
+  wfg.AddWaits(2, {1});
+  wfg.RemoveTxn(2);
+  EXPECT_FALSE(wfg.HasCycleFrom(1));
+}
+
+TEST(WaitsForGraphTest, ClearWaitsKeepsIncomingEdges) {
+  WaitsForGraph wfg;
+  wfg.AddWaits(1, {2});
+  wfg.AddWaits(2, {3});
+  wfg.ClearWaits(2);  // txn 2 got granted; txn 1 still waits for it
+  EXPECT_EQ(wfg.OutDegree(2), 0);
+  EXPECT_EQ(wfg.OutDegree(1), 1);
+  wfg.AddWaits(2, {1});
+  EXPECT_TRUE(wfg.HasCycleFrom(1));
+}
+
+TEST(WaitsForGraphTest, SelfEdgesIgnored) {
+  WaitsForGraph wfg;
+  wfg.AddWaits(1, {1, 2});
+  EXPECT_FALSE(wfg.HasCycleFrom(1));
+  EXPECT_EQ(wfg.OutDegree(1), 1);
+}
+
+TEST(DataStoreTest, VersionsStartAtZero) {
+  DataStore store(3);
+  EXPECT_EQ(store.VersionOf(0), 0);
+  EXPECT_EQ(store.VersionOf(2), 0);
+}
+
+TEST(DataStoreTest, InstallAndBump) {
+  DataStore store(2);
+  store.Install(0, 1);
+  EXPECT_EQ(store.VersionOf(0), 1);
+  EXPECT_EQ(store.Bump(0), 2);
+  EXPECT_EQ(store.VersionOf(0), 2);
+  EXPECT_EQ(store.installs(), 2);
+}
+
+TEST(DataStoreTest, ReinstallSameVersionAllowed) {
+  DataStore store(1);
+  store.Install(0, 3);
+  store.Install(0, 3);  // read-only circulation returns unchanged
+  EXPECT_EQ(store.VersionOf(0), 3);
+}
+
+TEST(DataStoreDeathTest, RejectsStaleInstall) {
+  DataStore store(1);
+  store.Install(0, 5);
+  EXPECT_DEATH(store.Install(0, 4), "stale");
+}
+
+TEST(WalTest, AppendAssignsMonotonicLsns) {
+  WriteAheadLog wal;
+  EXPECT_EQ(wal.Append(LogRecordKind::kUpdate, 1, 0, 1), 1);
+  EXPECT_EQ(wal.Append(LogRecordKind::kCommit, 1, kInvalidItem, 0), 2);
+  EXPECT_EQ(wal.size(), 2u);
+}
+
+TEST(WalTest, ForceAdvancesDurableLsn) {
+  WriteAheadLog wal(/*force_delay=*/7);
+  const int64_t lsn = wal.Append(LogRecordKind::kUpdate, 1, 0, 1);
+  EXPECT_EQ(wal.Force(lsn), 7);
+  EXPECT_EQ(wal.durable_lsn(), lsn);
+  EXPECT_EQ(wal.Force(lsn), 0);  // already durable
+  EXPECT_EQ(wal.forces(), 1);
+}
+
+TEST(WalTest, TruncateGarbageCollectsPrefix) {
+  WriteAheadLog wal;
+  for (int i = 0; i < 5; ++i) wal.Append(LogRecordKind::kUpdate, 1, 0, i);
+  wal.Force(3);
+  wal.TruncateThrough(3);
+  EXPECT_EQ(wal.size(), 2u);
+  EXPECT_EQ(wal.records().front().lsn, 4);
+  EXPECT_EQ(wal.truncated_lsn(), 3);
+}
+
+TEST(WalDeathTest, CannotTruncateUndurableRecords) {
+  WriteAheadLog wal;
+  wal.Append(LogRecordKind::kUpdate, 1, 0, 1);
+  EXPECT_DEATH(wal.TruncateThrough(1), "durable");
+}
+
+
+TEST(RecoveryTest, RedoesCommittedSkipsLosers) {
+  WriteAheadLog wal;
+  DataStore store(3);
+  wal.Append(LogRecordKind::kUpdate, /*txn=*/1, /*item=*/0, /*version=*/1);
+  wal.Append(LogRecordKind::kUpdate, 1, 1, 1);
+  wal.Append(LogRecordKind::kCommit, 1, kInvalidItem, 0);
+  wal.Append(LogRecordKind::kUpdate, 2, 2, 1);   // loser: aborted
+  wal.Append(LogRecordKind::kAbort, 2, kInvalidItem, 0);
+  wal.Append(LogRecordKind::kUpdate, 3, 0, 2);   // loser: no outcome
+  wal.Force(wal.next_lsn() - 1);
+  const RecoveryResult result = Recover(wal, &store);
+  EXPECT_EQ(result.committed_txns, 1);
+  EXPECT_EQ(result.aborted_txns, 1);
+  EXPECT_EQ(result.redone_updates, 2);
+  EXPECT_EQ(result.skipped_updates, 2);
+  EXPECT_EQ(store.VersionOf(0), 1);
+  EXPECT_EQ(store.VersionOf(1), 1);
+  EXPECT_EQ(store.VersionOf(2), 0);
+}
+
+TEST(RecoveryTest, RedoIsIdempotent) {
+  WriteAheadLog wal;
+  DataStore store(1);
+  wal.Append(LogRecordKind::kUpdate, 1, 0, 1);
+  wal.Append(LogRecordKind::kCommit, 1, kInvalidItem, 0);
+  wal.Force(wal.next_lsn() - 1);
+  Recover(wal, &store);
+  const RecoveryResult again = Recover(wal, &store);
+  EXPECT_EQ(again.redone_updates, 0);
+  EXPECT_EQ(again.skipped_updates, 1);
+  EXPECT_EQ(store.VersionOf(0), 1);
+}
+
+TEST(RecoveryTest, VolatileTailIsNeverRedone) {
+  WriteAheadLog wal;
+  DataStore store(1);
+  const int64_t lsn = wal.Append(LogRecordKind::kUpdate, 1, 0, 1);
+  wal.Append(LogRecordKind::kCommit, 1, kInvalidItem, 0);
+  wal.Force(lsn);  // commit record not durable
+  const RecoveryResult result = Recover(wal, &store);
+  EXPECT_EQ(result.committed_txns, 0);
+  EXPECT_EQ(result.redone_updates, 0);
+  EXPECT_EQ(store.VersionOf(0), 0);
+}
+
+TEST(RecoveryTest, ServerInstallRecordsRedoWithoutCommit) {
+  WriteAheadLog wal;
+  DataStore store(2);
+  wal.Append(LogRecordKind::kInstall, 5, 0, 3);
+  wal.Append(LogRecordKind::kInstall, 6, 1, 2);
+  wal.Force(wal.next_lsn() - 1);
+  const RecoveryResult result = Recover(wal, &store);
+  EXPECT_EQ(result.redone_updates, 2);
+  EXPECT_EQ(store.VersionOf(0), 3);
+  EXPECT_EQ(store.VersionOf(1), 2);
+}
+
+TEST(RecoveryTest, OutOfOrderVersionsConverge) {
+  WriteAheadLog wal;
+  DataStore store(1);
+  wal.Append(LogRecordKind::kInstall, 1, 0, 1);
+  wal.Append(LogRecordKind::kInstall, 2, 0, 2);
+  wal.Append(LogRecordKind::kInstall, 3, 0, 3);
+  wal.Force(wal.next_lsn() - 1);
+  store.Install(0, 2);  // store already ahead of the first two records
+  const RecoveryResult result = Recover(wal, &store);
+  EXPECT_EQ(result.redone_updates, 1);
+  EXPECT_EQ(store.VersionOf(0), 3);
+}
+
+}  // namespace
+}  // namespace gtpl::db

@@ -1,0 +1,90 @@
+// Unit tests for forward lists (paper §3.2) and their builder.
+
+#include "core/forward_list.h"
+
+#include <gtest/gtest.h>
+
+namespace gtpl::core {
+namespace {
+
+TEST(ForwardListBuilderTest, CoalescesAdjacentReads) {
+  ForwardListBuilder builder;
+  builder.Add(1, 1, LockMode::kShared);
+  builder.Add(2, 2, LockMode::kShared);
+  builder.Add(3, 3, LockMode::kExclusive);
+  builder.Add(4, 4, LockMode::kShared);
+  const auto fl = builder.Build();
+  ASSERT_EQ(fl->num_entries(), 3);
+  EXPECT_TRUE(fl->entry(0).is_read_group);
+  EXPECT_EQ(fl->entry(0).size(), 2);
+  EXPECT_FALSE(fl->entry(1).is_read_group);
+  EXPECT_EQ(fl->entry(1).members[0].txn, 3);
+  EXPECT_TRUE(fl->entry(2).is_read_group);
+  EXPECT_EQ(fl->entry(2).size(), 1);
+}
+
+TEST(ForwardListBuilderTest, ConsecutiveWritersStaySeparate) {
+  ForwardListBuilder builder;
+  builder.Add(1, 1, LockMode::kExclusive);
+  builder.Add(2, 2, LockMode::kExclusive);
+  const auto fl = builder.Build();
+  ASSERT_EQ(fl->num_entries(), 2);
+  EXPECT_FALSE(fl->entry(0).is_read_group);
+  EXPECT_FALSE(fl->entry(1).is_read_group);
+}
+
+TEST(ForwardListTest, MemberTxnsInEntryOrder) {
+  ForwardListBuilder builder;
+  builder.Add(5, 1, LockMode::kShared);
+  builder.Add(6, 2, LockMode::kShared);
+  builder.Add(7, 3, LockMode::kExclusive);
+  const auto fl = builder.Build();
+  EXPECT_EQ(fl->MemberTxns(), (std::vector<TxnId>{5, 6, 7}));
+  EXPECT_EQ(fl->num_members(), 3);
+}
+
+TEST(ForwardListTest, IsLastEntry) {
+  ForwardListBuilder builder;
+  builder.Add(1, 1, LockMode::kExclusive);
+  builder.Add(2, 2, LockMode::kExclusive);
+  const auto fl = builder.Build();
+  EXPECT_FALSE(fl->IsLastEntry(0));
+  EXPECT_TRUE(fl->IsLastEntry(1));
+}
+
+TEST(ForwardListTest, DebugStringShowsGroupsAndWriters) {
+  ForwardListBuilder builder;
+  builder.Add(3, 1, LockMode::kShared);
+  builder.Add(7, 2, LockMode::kShared);
+  builder.Add(9, 3, LockMode::kExclusive);
+  const auto fl = builder.Build();
+  EXPECT_EQ(fl->DebugString(), "[R{T3,T7} W{T9}]");
+}
+
+TEST(ForwardListTest, SingletonWriter) {
+  ForwardListBuilder builder;
+  builder.Add(42, 5, LockMode::kExclusive);
+  const auto fl = builder.Build();
+  ASSERT_EQ(fl->num_entries(), 1);
+  EXPECT_EQ(fl->entry(0).members[0].client, 5);
+  EXPECT_TRUE(fl->IsLastEntry(0));
+}
+
+TEST(ForwardListDeathTest, RejectsAdjacentReadGroups) {
+  std::vector<FlEntry> entries(2);
+  entries[0].is_read_group = true;
+  entries[0].members = {{1, 1}};
+  entries[1].is_read_group = true;
+  entries[1].members = {{2, 2}};
+  EXPECT_DEATH(ForwardList{std::move(entries)}, "coalesced");
+}
+
+TEST(ForwardListDeathTest, RejectsMultiMemberWriterEntry) {
+  std::vector<FlEntry> entries(1);
+  entries[0].is_read_group = false;
+  entries[0].members = {{1, 1}, {2, 2}};
+  EXPECT_DEATH(ForwardList{std::move(entries)}, "");
+}
+
+}  // namespace
+}  // namespace gtpl::core

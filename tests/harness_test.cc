@@ -1,0 +1,143 @@
+// Unit tests for the experiment harness: table rendering, CLI parsing, and
+// replication aggregation.
+
+#include "harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/cli.h"
+#include "harness/table.h"
+
+namespace gtpl::harness {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table table({"a", "long-header"});
+  table.AddRow({"wide-cell", "1"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("a          long-header"), std::string::npos);
+  EXPECT_NE(out.find("wide-cell  1"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesNothingButJoins) {
+  Table table({"x", "y"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4"});
+  EXPECT_EQ(table.ToCsv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TableDeathTest, RowArityChecked) {
+  Table table({"x", "y"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "");
+}
+
+TEST(FmtTest, Decimals) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(10.0, 0), "10");
+}
+
+TEST(CliTest, DefaultsWhenNoFlags) {
+  CliOptions options;
+  char prog[] = "bench";
+  char* argv[] = {prog};
+  ASSERT_TRUE(ParseCli(1, argv, &options).ok());
+  EXPECT_EQ(options.scale.measured_txns, 4000);
+  EXPECT_EQ(options.scale.runs, 3);
+}
+
+TEST(CliTest, ParsesScaleFlags) {
+  CliOptions options;
+  char prog[] = "bench";
+  char txns[] = "--txns=123";
+  char warmup[] = "--warmup=45";
+  char runs[] = "--runs=7";
+  char seed[] = "--seed=99";
+  char csv[] = "--csv=/tmp/out.csv";
+  char* argv[] = {prog, txns, warmup, runs, seed, csv};
+  ASSERT_TRUE(ParseCli(6, argv, &options).ok());
+  EXPECT_EQ(options.scale.measured_txns, 123);
+  EXPECT_EQ(options.scale.warmup_txns, 45);
+  EXPECT_EQ(options.scale.runs, 7);
+  EXPECT_EQ(options.scale.base_seed, 99u);
+  EXPECT_EQ(options.csv_path, "/tmp/out.csv");
+}
+
+TEST(CliTest, FullAndQuickPresets) {
+  CliOptions options;
+  char prog[] = "bench";
+  char full[] = "--full";
+  char* argv[] = {prog, full};
+  ASSERT_TRUE(ParseCli(2, argv, &options).ok());
+  EXPECT_EQ(options.scale.measured_txns, 50000);
+  EXPECT_EQ(options.scale.runs, 5);
+  CliOptions quick_options;
+  char quick[] = "--quick";
+  char* argv2[] = {prog, quick};
+  ASSERT_TRUE(ParseCli(2, argv2, &quick_options).ok());
+  EXPECT_EQ(quick_options.scale.measured_txns, 800);
+}
+
+TEST(CliTest, RejectsUnknownAndMalformed) {
+  CliOptions options;
+  char prog[] = "bench";
+  char bogus[] = "--bogus";
+  char* argv[] = {prog, bogus};
+  EXPECT_FALSE(ParseCli(2, argv, &options).ok());
+  char bad[] = "--txns=abc";
+  char* argv2[] = {prog, bad};
+  EXPECT_FALSE(ParseCli(2, argv2, &options).ok());
+  char neg[] = "--txns=-5";
+  char* argv3[] = {prog, neg};
+  EXPECT_FALSE(ParseCli(2, argv3, &options).ok());
+}
+
+TEST(ExperimentTest, RunReplicatedAggregatesAcrossSeeds) {
+  proto::SimConfig config;
+  config.protocol = proto::Protocol::kS2pl;
+  config.num_clients = 5;
+  config.latency = 10;
+  config.workload.num_items = 10;
+  config.measured_txns = 200;
+  config.warmup_txns = 20;
+  config.seed = 100;
+  config.max_sim_time = 50'000'000;
+  const PointResult point = RunReplicated(config, 3);
+  EXPECT_EQ(point.response.runs, 3);
+  EXPECT_GT(point.response.mean, 0.0);
+  EXPECT_GE(point.response.ci_half_width, 0.0);
+  EXPECT_EQ(point.total_commits, 600);
+  EXPECT_FALSE(point.any_timed_out);
+  // Replications use distinct seeds, so some spread is expected.
+  EXPECT_GT(point.response.stddev, 0.0);
+}
+
+TEST(ExperimentTest, RunReplicatedIsDeterministic) {
+  proto::SimConfig config;
+  config.protocol = proto::Protocol::kG2pl;
+  config.num_clients = 5;
+  config.latency = 10;
+  config.workload.num_items = 10;
+  config.measured_txns = 100;
+  config.warmup_txns = 10;
+  config.seed = 55;
+  config.max_sim_time = 50'000'000;
+  const PointResult a = RunReplicated(config, 2);
+  const PointResult b = RunReplicated(config, 2);
+  EXPECT_EQ(a.response.mean, b.response.mean);
+  EXPECT_EQ(a.abort_pct.mean, b.abort_pct.mean);
+}
+
+TEST(ExperimentTest, ApplyScaleOverridesRunLengths) {
+  ExperimentScale scale;
+  scale.measured_txns = 777;
+  scale.warmup_txns = 77;
+  scale.base_seed = 7;
+  proto::SimConfig config;
+  ApplyScale(scale, &config);
+  EXPECT_EQ(config.measured_txns, 777);
+  EXPECT_EQ(config.warmup_txns, 77);
+  EXPECT_EQ(config.seed, 7u);
+}
+
+}  // namespace
+}  // namespace gtpl::harness

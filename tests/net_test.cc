@@ -1,0 +1,109 @@
+// Unit tests for the network transport and latency models.
+
+#include "net/network.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/latency_model.h"
+#include "sim/simulator.h"
+
+namespace gtpl::net {
+namespace {
+
+TEST(UniformLatencyTest, SameForEveryPair) {
+  UniformLatency model(250);
+  EXPECT_EQ(model.Latency(0, 1), 250);
+  EXPECT_EQ(model.Latency(1, 0), 250);
+  EXPECT_EQ(model.Latency(3, 7), 250);
+}
+
+TEST(MatrixLatencyTest, UsesPerPairEntries) {
+  MatrixLatency model({{0, 10}, {20, 0}}, /*jitter=*/0, /*seed=*/1);
+  EXPECT_EQ(model.Latency(0, 1), 10);
+  EXPECT_EQ(model.Latency(1, 0), 20);
+  EXPECT_EQ(model.Latency(0, 0), 0);
+}
+
+TEST(MatrixLatencyTest, JitterStaysBounded) {
+  MatrixLatency model({{0, 100}, {100, 0}}, /*jitter=*/10, /*seed=*/2);
+  for (int i = 0; i < 200; ++i) {
+    const SimTime latency = model.Latency(0, 1);
+    EXPECT_GE(latency, 100);
+    EXPECT_LE(latency, 110);
+  }
+}
+
+TEST(PaperEnvironmentsTest, MatchTable2) {
+  const auto& envs = PaperEnvironments();
+  ASSERT_EQ(envs.size(), 6u);
+  EXPECT_STREQ(envs[0].abbreviation, "ss-LAN");
+  EXPECT_EQ(envs[0].latency, 1);
+  EXPECT_STREQ(envs[3].abbreviation, "MAN");
+  EXPECT_EQ(envs[3].latency, 250);
+  EXPECT_STREQ(envs[5].abbreviation, "l-WAN");
+  EXPECT_EQ(envs[5].latency, 750);
+}
+
+TEST(NetworkTest, DeliversAfterLatency) {
+  sim::Simulator sim;
+  Network net(&sim, std::make_unique<UniformLatency>(50));
+  SimTime delivered_at = -1;
+  net.Send(1, 0, "msg", [&] { delivered_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(delivered_at, 50);
+}
+
+TEST(NetworkTest, CountsMessagesByDirection) {
+  sim::Simulator sim;
+  Network net(&sim, std::make_unique<UniformLatency>(1));
+  net.Send(kServerSite, 1, "s2c", [] {});
+  net.Send(1, kServerSite, "c2s", [] {});
+  net.Send(1, 2, "c2c", [] {});
+  net.Send(2, 1, "c2c", [] {});
+  sim.Run();
+  EXPECT_EQ(net.stats().messages, 4u);
+  EXPECT_EQ(net.stats().server_to_client, 1u);
+  EXPECT_EQ(net.stats().client_to_server, 1u);
+  EXPECT_EQ(net.stats().client_to_client, 2u);
+}
+
+TEST(NetworkTest, TracingRecordsTimeline) {
+  sim::Simulator sim;
+  Network net(&sim, std::make_unique<UniformLatency>(10));
+  net.EnableTracing();
+  net.Send(1, 2, "hop", [&] {
+    net.Send(2, 0, "back", [] {});
+  });
+  sim.Run();
+  ASSERT_EQ(net.trace().size(), 2u);
+  EXPECT_EQ(net.trace()[0].send_time, 0);
+  EXPECT_EQ(net.trace()[0].deliver_time, 10);
+  EXPECT_EQ(net.trace()[0].label, "hop");
+  EXPECT_EQ(net.trace()[1].send_time, 10);
+  EXPECT_EQ(net.trace()[1].deliver_time, 20);
+}
+
+TEST(NetworkTest, NoTraceWhenDisabled) {
+  sim::Simulator sim;
+  Network net(&sim, std::make_unique<UniformLatency>(10));
+  net.Send(1, 2, "hop", [] {});
+  sim.Run();
+  EXPECT_TRUE(net.trace().empty());
+}
+
+TEST(NetworkTest, SameTickMessagesDeliverInSendOrder) {
+  sim::Simulator sim;
+  Network net(&sim, std::make_unique<UniformLatency>(5));
+  std::vector<int> order;
+  net.Send(1, 0, "a", [&] { order.push_back(1); });
+  net.Send(2, 0, "b", [&] { order.push_back(2); });
+  net.Send(3, 0, "c", [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace gtpl::net

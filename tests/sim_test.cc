@@ -1,0 +1,140 @@
+// Unit tests for the discrete-event simulation kernel.
+
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+
+namespace gtpl::sim {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Push(30, 0, [&order] { order.push_back(30); });
+  queue.Push(10, 1, [&order] { order.push_back(10); });
+  queue.Push(20, 2, [&order] { order.push_back(20); });
+  while (!queue.empty()) queue.Pop().action();
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(EventQueueTest, SameTickFifoBySequence) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.Push(5, static_cast<uint64_t>(i), [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.Pop().action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueTest, PeekTimeMatchesEarliest) {
+  EventQueue queue;
+  queue.Push(42, 0, [] {});
+  queue.Push(7, 1, [] {});
+  EXPECT_EQ(queue.PeekTime(), 7);
+}
+
+TEST(EventQueueTest, SizeAndClear) {
+  EventQueue queue;
+  queue.Push(1, 0, [] {});
+  queue.Push(2, 1, [] {});
+  EXPECT_EQ(queue.size(), 2u);
+  queue.Clear();
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.Schedule(5, [&] { seen.push_back(sim.Now()); });
+  sim.Schedule(2, [&] { seen.push_back(sim.Now()); });
+  sim.Run();
+  EXPECT_EQ(seen, (std::vector<SimTime>{2, 5}));
+  EXPECT_EQ(sim.Now(), 5);
+}
+
+TEST(SimulatorTest, NestedSchedulingUsesEventTimeAsBase) {
+  Simulator sim;
+  SimTime inner_fired = -1;
+  sim.Schedule(10, [&] {
+    sim.Schedule(7, [&] { inner_fired = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(inner_fired, 17);
+}
+
+TEST(SimulatorTest, ZeroDelayRunsAfterPendingSameTick) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(1, [&] {
+    order.push_back(1);
+    sim.Schedule(0, [&] { order.push_back(3); });
+  });
+  sim.Schedule(1, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(5, [&] { ++fired; });
+  sim.Schedule(15, [&] { ++fired; });
+  sim.Run(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventExactlyAtHorizonRuns) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { ++fired; });
+  sim.Run(10);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, StopHaltsExecution) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(2, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, StepExecutesOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1, [&] { ++fired; });
+  sim.Schedule(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, EmptyRunAdvancesToHorizon) {
+  Simulator sim;
+  sim.Run(100);
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.Schedule(i, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+}  // namespace
+}  // namespace gtpl::sim

@@ -1,0 +1,144 @@
+// Unit tests for the statistics substrate (Welford, replication CIs,
+// histogram).
+
+#include "stats/welford.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.h"
+#include "stats/replication.h"
+
+namespace gtpl::stats {
+namespace {
+
+TEST(WelfordTest, EmptyAccumulator) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0);
+  EXPECT_EQ(w.mean(), 0.0);
+  EXPECT_EQ(w.variance(), 0.0);
+}
+
+TEST(WelfordTest, SingleValue) {
+  Welford w;
+  w.Add(5.0);
+  EXPECT_EQ(w.count(), 1);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_EQ(w.variance(), 0.0);
+  EXPECT_EQ(w.min(), 5.0);
+  EXPECT_EQ(w.max(), 5.0);
+}
+
+TEST(WelfordTest, KnownMeanAndVariance) {
+  Welford w;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.Add(v);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(w.min(), 2.0);
+  EXPECT_EQ(w.max(), 9.0);
+}
+
+TEST(WelfordTest, MergeMatchesSequential) {
+  Welford all;
+  Welford left;
+  Welford right;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i) * 10 + i;
+    all.Add(v);
+    (i % 2 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(WelfordTest, MergeWithEmpty) {
+  Welford a;
+  a.Add(1.0);
+  a.Add(3.0);
+  Welford empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(StudentTTest, KnownCriticalValues) {
+  EXPECT_NEAR(StudentT95(1), 12.706, 1e-3);
+  EXPECT_NEAR(StudentT95(4), 2.776, 1e-3);   // the paper's 5 runs
+  EXPECT_NEAR(StudentT95(10), 2.228, 1e-3);
+  EXPECT_NEAR(StudentT95(30), 2.042, 1e-3);
+  EXPECT_NEAR(StudentT95(1000), 1.96, 1e-3);
+}
+
+TEST(SummarizeTest, SingleRunHasNoInterval) {
+  const ReplicationSummary s = Summarize({10.0});
+  EXPECT_EQ(s.runs, 1);
+  EXPECT_DOUBLE_EQ(s.mean, 10.0);
+  EXPECT_EQ(s.ci_half_width, 0.0);
+}
+
+TEST(SummarizeTest, FiveRunsMatchHandComputation) {
+  const std::vector<double> values = {10, 12, 11, 9, 13};
+  const ReplicationSummary s = Summarize(values);
+  EXPECT_EQ(s.runs, 5);
+  EXPECT_DOUBLE_EQ(s.mean, 11.0);
+  const double stddev = std::sqrt(2.5);  // sample variance 2.5
+  EXPECT_NEAR(s.stddev, stddev, 1e-12);
+  EXPECT_NEAR(s.ci_half_width, 2.776 * stddev / std::sqrt(5.0), 1e-9);
+  EXPECT_NEAR(s.relative_precision, s.ci_half_width / 11.0, 1e-12);
+}
+
+TEST(SummarizeTest, IdenticalRunsHaveZeroWidth) {
+  const ReplicationSummary s = Summarize({5, 5, 5, 5});
+  EXPECT_EQ(s.ci_half_width, 0.0);
+  EXPECT_EQ(s.relative_precision, 0.0);
+}
+
+TEST(HistogramTest, CountsAndOverflow) {
+  Histogram h(100.0, 10);
+  h.Add(5);     // bucket 0
+  h.Add(15);    // bucket 1
+  h.Add(95);    // bucket 9
+  h.Add(150);   // overflow
+  h.Add(-2);    // clamped to bucket 0
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(9), 1);
+  EXPECT_EQ(h.overflow(), 1);
+}
+
+TEST(HistogramTest, QuantilesOrdered) {
+  Histogram h(1000.0, 100);
+  for (int i = 0; i < 1000; ++i) h.Add(i);
+  const double p50 = h.Quantile(0.5);
+  const double p90 = h.Quantile(0.9);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_NEAR(p50, 500, 20);
+  EXPECT_NEAR(p90, 900, 20);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+}
+
+TEST(HistogramTest, AsciiRenderingNonEmpty) {
+  Histogram h(10.0, 5);
+  for (int i = 0; i < 20; ++i) h.Add(i % 10);
+  const std::string art = h.ToAscii();
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, EmptyAscii) {
+  Histogram h(10.0, 5);
+  EXPECT_EQ(h.ToAscii(), "(empty)\n");
+}
+
+}  // namespace
+}  // namespace gtpl::stats

@@ -1,0 +1,158 @@
+// Unit tests for the workload generator (paper Table 1 profile).
+
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "workload/txn_spec.h"
+
+namespace gtpl::workload {
+namespace {
+
+WorkloadProfile PaperProfile() { return WorkloadProfile{}; }
+
+TEST(GeneratorTest, ItemCountWithinRange) {
+  WorkloadGenerator gen(PaperProfile(), 1);
+  for (int i = 0; i < 1000; ++i) {
+    const TxnSpec spec = gen.NextTxn();
+    EXPECT_GE(spec.ops.size(), 1u);
+    EXPECT_LE(spec.ops.size(), 5u);
+  }
+}
+
+TEST(GeneratorTest, ItemsAreDistinctAndInPool) {
+  WorkloadGenerator gen(PaperProfile(), 2);
+  for (int i = 0; i < 1000; ++i) {
+    const TxnSpec spec = gen.NextTxn();
+    std::unordered_set<ItemId> seen;
+    for (const Operation& op : spec.ops) {
+      EXPECT_GE(op.item, 0);
+      EXPECT_LT(op.item, 25);
+      EXPECT_TRUE(seen.insert(op.item).second) << "duplicate item";
+    }
+  }
+}
+
+TEST(GeneratorTest, ReadProbabilityZeroMakesAllWrites) {
+  WorkloadProfile profile = PaperProfile();
+  profile.read_prob = 0.0;
+  WorkloadGenerator gen(profile, 3);
+  for (int i = 0; i < 200; ++i) {
+    const TxnSpec spec = gen.NextTxn();
+    EXPECT_EQ(spec.NumWrites(), static_cast<int32_t>(spec.ops.size()));
+    EXPECT_FALSE(spec.IsReadOnly());
+  }
+}
+
+TEST(GeneratorTest, ReadProbabilityOneMakesAllReads) {
+  WorkloadProfile profile = PaperProfile();
+  profile.read_prob = 1.0;
+  WorkloadGenerator gen(profile, 4);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(gen.NextTxn().IsReadOnly());
+  }
+}
+
+TEST(GeneratorTest, ReadFractionMatchesProbability) {
+  WorkloadProfile profile = PaperProfile();
+  profile.read_prob = 0.6;
+  WorkloadGenerator gen(profile, 5);
+  int64_t reads = 0;
+  int64_t total = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const TxnSpec spec = gen.NextTxn();
+    for (const Operation& op : spec.ops) {
+      reads += op.mode == LockMode::kShared ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / total, 0.6, 0.02);
+}
+
+TEST(GeneratorTest, ThinkAndIdleWithinPaperRanges) {
+  WorkloadGenerator gen(PaperProfile(), 6);
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime think = gen.SampleThink();
+    EXPECT_GE(think, 1);
+    EXPECT_LE(think, 3);
+    const SimTime idle = gen.SampleIdle();
+    EXPECT_GE(idle, 2);
+    EXPECT_LE(idle, 10);
+  }
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  WorkloadGenerator a(PaperProfile(), 9);
+  WorkloadGenerator b(PaperProfile(), 9);
+  for (int i = 0; i < 50; ++i) {
+    const TxnSpec sa = a.NextTxn();
+    const TxnSpec sb = b.NextTxn();
+    ASSERT_EQ(sa.ops.size(), sb.ops.size());
+    for (size_t j = 0; j < sa.ops.size(); ++j) {
+      EXPECT_EQ(sa.ops[j].item, sb.ops[j].item);
+      EXPECT_EQ(sa.ops[j].mode, sb.ops[j].mode);
+    }
+  }
+}
+
+TEST(GeneratorTest, SortedAccessOrdersItems) {
+  WorkloadProfile profile = PaperProfile();
+  profile.sorted_access = true;
+  WorkloadGenerator gen(profile, 10);
+  for (int i = 0; i < 500; ++i) {
+    const TxnSpec spec = gen.NextTxn();
+    for (size_t j = 1; j < spec.ops.size(); ++j) {
+      EXPECT_LT(spec.ops[j - 1].item, spec.ops[j].item);
+    }
+  }
+}
+
+TEST(GeneratorTest, ZipfSkewsAccesses) {
+  WorkloadProfile profile = PaperProfile();
+  profile.zipf_theta = 0.99;
+  WorkloadGenerator gen(profile, 11);
+  std::vector<int> counts(25, 0);
+  for (int i = 0; i < 5000; ++i) {
+    for (const Operation& op : gen.NextTxn().ops) ++counts[op.item];
+  }
+  EXPECT_GT(counts[0], counts[24] * 2);
+}
+
+TEST(GeneratorTest, ZipfStillDistinct) {
+  WorkloadProfile profile = PaperProfile();
+  profile.zipf_theta = 1.2;
+  WorkloadGenerator gen(profile, 12);
+  for (int i = 0; i < 500; ++i) {
+    const TxnSpec spec = gen.NextTxn();
+    std::unordered_set<ItemId> seen;
+    for (const Operation& op : spec.ops) {
+      EXPECT_TRUE(seen.insert(op.item).second);
+    }
+  }
+}
+
+TEST(TxnSpecTest, DebugStringFormat) {
+  TxnSpec spec;
+  spec.id = 7;
+  spec.ops = {{3, LockMode::kShared}, {5, LockMode::kExclusive}};
+  EXPECT_EQ(spec.DebugString(), "T7: r(3) w(5)");
+}
+
+TEST(GeneratorTest, SingleItemPoolProfile) {
+  WorkloadProfile profile = PaperProfile();
+  profile.num_items = 1;
+  profile.min_items_per_txn = 1;
+  profile.max_items_per_txn = 1;
+  WorkloadGenerator gen(profile, 13);
+  for (int i = 0; i < 100; ++i) {
+    const TxnSpec spec = gen.NextTxn();
+    ASSERT_EQ(spec.ops.size(), 1u);
+    EXPECT_EQ(spec.ops[0].item, 0);
+  }
+}
+
+}  // namespace
+}  // namespace gtpl::workload
