@@ -15,6 +15,13 @@ namespace {
 void Run(const harness::CliOptions& options) {
   harness::Table table({"pr", "notice", "s-2PL resp", "g-2PL resp",
                         "improv%"});
+  Grid grid(options);
+  struct Row {
+    double pr;
+    bool instant;
+    size_t s2pl, g2pl;
+  };
+  std::vector<Row> rows;
   for (double pr : {0.0, 0.25, 0.6}) {
     for (bool instant : {true, false}) {
       proto::SimConfig config = PaperBaseConfig();
@@ -23,20 +30,24 @@ void Run(const harness::CliOptions& options) {
       config.workload.read_prob = pr;
       config.instant_abort_notice = instant;
       config.protocol = proto::Protocol::kS2pl;
-      const harness::PointResult s2pl =
-          harness::RunReplicated(config, options.scale.runs);
+      const size_t s2pl = grid.Add(config);
       config.protocol = proto::Protocol::kG2pl;
-      const harness::PointResult g2pl =
-          harness::RunReplicated(config, options.scale.runs);
-      table.AddRow(
-          {harness::Fmt(pr, 2), instant ? "instant" : "one-latency",
-           harness::Fmt(s2pl.response.mean, 0),
-           harness::Fmt(g2pl.response.mean, 0),
-           harness::Fmt(Improvement(s2pl.response.mean, g2pl.response.mean),
-                        1)});
+      rows.push_back({pr, instant, s2pl, grid.Add(config)});
     }
   }
+  grid.Run();
+  for (const Row& row : rows) {
+    const harness::PointResult& s2pl = grid.Result(row.s2pl);
+    const harness::PointResult& g2pl = grid.Result(row.g2pl);
+    table.AddRow(
+        {harness::Fmt(row.pr, 2), row.instant ? "instant" : "one-latency",
+         harness::Fmt(s2pl.response.mean, 0),
+         harness::Fmt(g2pl.response.mean, 0),
+         harness::Fmt(Improvement(s2pl.response.mean, g2pl.response.mean),
+                      1)});
+  }
   table.Print(options.csv_path);
+  grid.PrintSummary();
 }
 
 }  // namespace

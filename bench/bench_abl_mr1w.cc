@@ -14,6 +14,12 @@ void Run(const harness::CliOptions& options) {
   harness::Table table(
       {"pr", "g-2PL resp (MR1W)", "g-2PL resp (basic)", "MR1W gain%",
        "abort% (MR1W)", "abort% (basic)"});
+  Grid grid(options);
+  struct Row {
+    double pr;
+    size_t mr1w, basic;
+  };
+  std::vector<Row> rows;
   for (double pr : {0.0, 0.25, 0.5, 0.75, 0.9}) {
     proto::SimConfig config = PaperBaseConfig();
     harness::ApplyScale(options.scale, &config);
@@ -21,13 +27,16 @@ void Run(const harness::CliOptions& options) {
     config.workload.read_prob = pr;
     config.protocol = proto::Protocol::kG2pl;
     config.g2pl.mr1w = true;
-    const harness::PointResult with_mr1w =
-        harness::RunReplicated(config, options.scale.runs);
+    const size_t mr1w = grid.Add(config);
     config.g2pl.mr1w = false;
-    const harness::PointResult basic =
-        harness::RunReplicated(config, options.scale.runs);
+    rows.push_back({pr, mr1w, grid.Add(config)});
+  }
+  grid.Run();
+  for (const Row& row : rows) {
+    const harness::PointResult& with_mr1w = grid.Result(row.mr1w);
+    const harness::PointResult& basic = grid.Result(row.basic);
     table.AddRow(
-        {harness::Fmt(pr, 2), harness::Fmt(with_mr1w.response.mean, 0),
+        {harness::Fmt(row.pr, 2), harness::Fmt(with_mr1w.response.mean, 0),
          harness::Fmt(basic.response.mean, 0),
          harness::Fmt(
              Improvement(basic.response.mean, with_mr1w.response.mean), 1),
@@ -35,6 +44,7 @@ void Run(const harness::CliOptions& options) {
          harness::Fmt(basic.abort_pct.mean, 2)});
   }
   table.Print(options.csv_path);
+  grid.PrintSummary();
 }
 
 }  // namespace

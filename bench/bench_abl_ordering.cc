@@ -14,6 +14,13 @@ namespace {
 void Run(const harness::CliOptions& options) {
   harness::Table table({"pr", "policy", "g-2PL resp", "abort%",
                         "mean FL length"});
+  Grid grid(options);
+  struct Row {
+    double pr;
+    core::OrderingPolicy policy;
+    size_t point;
+  };
+  std::vector<Row> rows;
   for (double pr : {0.25, 0.5, 0.75}) {
     for (core::OrderingPolicy policy :
          {core::OrderingPolicy::kFifo, core::OrderingPolicy::kReadsFirst,
@@ -24,15 +31,19 @@ void Run(const harness::CliOptions& options) {
       config.workload.read_prob = pr;
       config.protocol = proto::Protocol::kG2pl;
       config.g2pl.ordering = policy;
-      const harness::PointResult point =
-          harness::RunReplicated(config, options.scale.runs);
-      table.AddRow({harness::Fmt(pr, 2), core::ToString(policy),
-                    harness::Fmt(point.response.mean, 0),
-                    harness::Fmt(point.abort_pct.mean, 2),
-                    harness::Fmt(point.fl_length.mean, 2)});
+      rows.push_back({pr, policy, grid.Add(config)});
     }
   }
+  grid.Run();
+  for (const Row& row : rows) {
+    const harness::PointResult& point = grid.Result(row.point);
+    table.AddRow({harness::Fmt(row.pr, 2), core::ToString(row.policy),
+                  harness::Fmt(point.response.mean, 0),
+                  harness::Fmt(point.abort_pct.mean, 2),
+                  harness::Fmt(point.fl_length.mean, 2)});
+  }
   table.Print(options.csv_path);
+  grid.PrintSummary();
 }
 
 }  // namespace

@@ -13,23 +13,32 @@ void Run(const harness::CliOptions& options) {
   harness::Table table({"pr", "g-2PL resp", "g-2PL-RO resp", "RO gain%",
                         "abort%", "RO abort%", "RO expans/commit",
                         "s-2PL resp"});
+  Grid grid(options);
+  struct Row {
+    double pr;
+    size_t plain, expanded, s2pl;
+  };
+  std::vector<Row> rows;
   for (double pr : {0.5, 0.75, 0.9, 1.0}) {
     proto::SimConfig config = PaperBaseConfig();
     harness::ApplyScale(options.scale, &config);
     config.latency = 500;
     config.workload.read_prob = pr;
     config.protocol = proto::Protocol::kG2pl;
-    const harness::PointResult plain =
-        harness::RunReplicated(config, options.scale.runs);
+    const size_t plain = grid.Add(config);
     config.g2pl.expand_read_groups = true;
-    const harness::PointResult expanded =
-        harness::RunReplicated(config, options.scale.runs);
+    const size_t expanded = grid.Add(config);
     config.g2pl.expand_read_groups = false;
     config.protocol = proto::Protocol::kS2pl;
-    const harness::PointResult s2pl =
-        harness::RunReplicated(config, options.scale.runs);
+    rows.push_back({pr, plain, expanded, grid.Add(config)});
+  }
+  grid.Run();
+  for (const Row& row : rows) {
+    const harness::PointResult& plain = grid.Result(row.plain);
+    const harness::PointResult& expanded = grid.Result(row.expanded);
+    const harness::PointResult& s2pl = grid.Result(row.s2pl);
     table.AddRow(
-        {harness::Fmt(pr, 2), harness::Fmt(plain.response.mean, 0),
+        {harness::Fmt(row.pr, 2), harness::Fmt(plain.response.mean, 0),
          harness::Fmt(expanded.response.mean, 0),
          harness::Fmt(
              Improvement(plain.response.mean, expanded.response.mean), 1),
@@ -39,6 +48,7 @@ void Run(const harness::CliOptions& options) {
          harness::Fmt(s2pl.response.mean, 0)});
   }
   table.Print(options.csv_path);
+  grid.PrintSummary();
 }
 
 }  // namespace

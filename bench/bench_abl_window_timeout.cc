@@ -13,6 +13,13 @@ namespace {
 void Run(const harness::CliOptions& options) {
   harness::Table table({"pr", "fl-cap", "g-2PL resp", "abort%",
                         "mean FL length"});
+  Grid grid(options);
+  struct Row {
+    double pr;
+    int32_t cap;
+    size_t point;
+  };
+  std::vector<Row> rows;
   for (double pr : {0.25, 0.6}) {
     for (int32_t cap : {1, 2, 3, 5, 8, 12, 20, 0}) {
       proto::SimConfig config = PaperBaseConfig();
@@ -21,16 +28,20 @@ void Run(const harness::CliOptions& options) {
       config.workload.read_prob = pr;
       config.protocol = proto::Protocol::kG2pl;
       config.g2pl.max_forward_list_length = cap;
-      const harness::PointResult point =
-          harness::RunReplicated(config, options.scale.runs);
-      table.AddRow({harness::Fmt(pr, 2),
-                    cap == 0 ? "inf" : std::to_string(cap),
-                    harness::Fmt(point.response.mean, 0),
-                    harness::Fmt(point.abort_pct.mean, 2),
-                    harness::Fmt(point.fl_length.mean, 2)});
+      rows.push_back({pr, cap, grid.Add(config)});
     }
   }
+  grid.Run();
+  for (const Row& row : rows) {
+    const harness::PointResult& point = grid.Result(row.point);
+    table.AddRow({harness::Fmt(row.pr, 2),
+                  row.cap == 0 ? "inf" : std::to_string(row.cap),
+                  harness::Fmt(point.response.mean, 0),
+                  harness::Fmt(point.abort_pct.mean, 2),
+                  harness::Fmt(point.fl_length.mean, 2)});
+  }
   table.Print(options.csv_path);
+  grid.PrintSummary();
 }
 
 }  // namespace

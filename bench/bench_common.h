@@ -3,9 +3,11 @@
 
 // Shared plumbing for the figure-reproduction bench binaries.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "harness/cli.h"
 #include "harness/experiment.h"
@@ -13,6 +15,55 @@
 #include "protocols/config.h"
 
 namespace gtpl::bench {
+
+/// Deterministic parallel driver for a bench's (config-point × replication)
+/// grid. Queue every point with Add() while laying out the table, call Run()
+/// once to fan the whole grid out across --jobs worker threads, then read
+/// the PointResults back by the indices Add() returned. Results are
+/// bit-identical at any job count; only the wall clock changes.
+class Grid {
+ public:
+  explicit Grid(const harness::CliOptions& options) : options_(options) {}
+
+  /// Queues one configuration point; returns its result index.
+  size_t Add(const proto::SimConfig& config) {
+    configs_.push_back(config);
+    return configs_.size() - 1;
+  }
+
+  /// Runs every queued point (all replications) across the worker threads.
+  void Run() {
+    result_ = harness::RunSweep(configs_, options_.scale.runs, options_.jobs);
+  }
+
+  const harness::PointResult& Result(size_t index) const {
+    return result_.points.at(index);
+  }
+
+  /// The closing "grid completed" line every bench prints after its tables.
+  void PrintSummary() const {
+    double slowest = 0.0;
+    for (const harness::PointResult& point : result_.points) {
+      slowest = std::max(slowest, point.wall_seconds);
+    }
+    std::printf(
+        "\ngrid: %zu points x %d replications completed in %.2f s on %d "
+        "thread(s)\n      (serial-equivalent %.2f s, speedup %.2fx, slowest "
+        "point %.2f s)\n",
+        configs_.size(), options_.scale.runs, result_.wall_seconds,
+        result_.jobs,
+        result_.serial_seconds,
+        result_.wall_seconds > 0.0
+            ? result_.serial_seconds / result_.wall_seconds
+            : 0.0,
+        slowest);
+  }
+
+ private:
+  harness::CliOptions options_;
+  std::vector<proto::SimConfig> configs_;
+  harness::SweepResult result_;
+};
 
 /// The paper's Table 1 base configuration: 50 clients, 25 hot items, 1-5
 /// items per transaction, think U[1,3], idle U[2,10], MPL 1.
@@ -31,6 +82,7 @@ inline harness::CliOptions ParseOrDie(int argc, char** argv) {
   harness::CliOptions options;
   const Status status = harness::ParseCli(argc, argv, &options);
   if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], status.message().c_str());
     std::exit(2);
   }
   return options;

@@ -13,6 +13,12 @@ void Run(const harness::CliOptions& options) {
   harness::Table table({"think (units)", "think/latency", "s-2PL resp",
                         "g-2PL resp", "improv%"});
   const SimTime kLatency = 250;
+  Grid grid(options);
+  struct Row {
+    SimTime think_mid, min_think, max_think;
+    size_t s2pl, g2pl;
+  };
+  std::vector<Row> rows;
   for (SimTime think_mid : {2, 25, 125, 250, 500, 1000}) {
     proto::SimConfig config = PaperBaseConfig();
     harness::ApplyScale(options.scale, &config);
@@ -21,21 +27,25 @@ void Run(const harness::CliOptions& options) {
     config.workload.min_think = std::max<SimTime>(1, think_mid / 2);
     config.workload.max_think = think_mid + think_mid / 2;
     config.protocol = proto::Protocol::kS2pl;
-    const harness::PointResult s2pl =
-        harness::RunReplicated(config, options.scale.runs);
+    const size_t s2pl = grid.Add(config);
     config.protocol = proto::Protocol::kG2pl;
-    const harness::PointResult g2pl =
-        harness::RunReplicated(config, options.scale.runs);
+    rows.push_back({think_mid, config.workload.min_think,
+                    config.workload.max_think, s2pl, grid.Add(config)});
+  }
+  grid.Run();
+  for (const Row& row : rows) {
+    const harness::PointResult& s2pl = grid.Result(row.s2pl);
+    const harness::PointResult& g2pl = grid.Result(row.g2pl);
     table.AddRow(
-        {std::to_string(config.workload.min_think) + "-" +
-             std::to_string(config.workload.max_think),
-         harness::Fmt(static_cast<double>(think_mid) / kLatency, 2),
+        {std::to_string(row.min_think) + "-" + std::to_string(row.max_think),
+         harness::Fmt(static_cast<double>(row.think_mid) / kLatency, 2),
          harness::Fmt(s2pl.response.mean, 0),
          harness::Fmt(g2pl.response.mean, 0),
          harness::Fmt(Improvement(s2pl.response.mean, g2pl.response.mean),
                       1)});
   }
   table.Print(options.csv_path);
+  grid.PrintSummary();
 }
 
 }  // namespace

@@ -15,7 +15,13 @@ namespace {
 void Run(const harness::CliOptions& options) {
   harness::Table table({"variation", "value", "s-2PL resp", "g-2PL resp",
                         "improv%"});
-  auto run_point = [&](const char* variation, const std::string& value,
+  Grid grid(options);
+  struct Row {
+    std::string variation, value;
+    size_t s2pl, g2pl;
+  };
+  std::vector<Row> rows;
+  auto add_point = [&](const char* variation, const std::string& value,
                        SimTime jitter, double spread) {
     proto::SimConfig config = PaperBaseConfig();
     harness::ApplyScale(options.scale, &config);
@@ -24,26 +30,31 @@ void Run(const harness::CliOptions& options) {
     config.latency_jitter = jitter;
     config.latency_spread = spread;
     config.protocol = proto::Protocol::kS2pl;
-    const harness::PointResult s2pl =
-        harness::RunReplicated(config, options.scale.runs);
+    const size_t s2pl = grid.Add(config);
     config.protocol = proto::Protocol::kG2pl;
-    const harness::PointResult g2pl =
-        harness::RunReplicated(config, options.scale.runs);
-    table.AddRow({variation, value, harness::Fmt(s2pl.response.mean, 0),
+    rows.push_back({variation, value, s2pl, grid.Add(config)});
+  };
+  add_point("baseline", "0", 0, 0.0);
+  for (SimTime jitter : {50, 125, 250}) {
+    add_point("jitter", std::to_string(jitter), jitter, 0.0);
+  }
+  for (double spread : {0.25, 0.5, 1.0}) {
+    add_point("spread", harness::Fmt(spread, 2), 0, spread);
+  }
+  add_point("both", "jitter 125 + spread 0.5", 125, 0.5);
+  grid.Run();
+  for (const Row& row : rows) {
+    const harness::PointResult& s2pl = grid.Result(row.s2pl);
+    const harness::PointResult& g2pl = grid.Result(row.g2pl);
+    table.AddRow({row.variation, row.value,
+                  harness::Fmt(s2pl.response.mean, 0),
                   harness::Fmt(g2pl.response.mean, 0),
                   harness::Fmt(
                       Improvement(s2pl.response.mean, g2pl.response.mean),
                       1)});
-  };
-  run_point("baseline", "0", 0, 0.0);
-  for (SimTime jitter : {50, 125, 250}) {
-    run_point("jitter", std::to_string(jitter), jitter, 0.0);
   }
-  for (double spread : {0.25, 0.5, 1.0}) {
-    run_point("spread", harness::Fmt(spread, 2), 0, spread);
-  }
-  run_point("both", "jitter 125 + spread 0.5", 125, 0.5);
   table.Print(options.csv_path);
+  grid.PrintSummary();
 }
 
 }  // namespace

@@ -12,6 +12,12 @@ namespace {
 void Run(const harness::CliOptions& options) {
   harness::Table table({"hot items", "s-2PL resp", "g-2PL resp", "improv%",
                         "g-2PL FL len", "s-2PL abort%", "g-2PL abort%"});
+  Grid grid(options);
+  struct Row {
+    int32_t items;
+    size_t s2pl, g2pl;
+  };
+  std::vector<Row> rows;
   for (int32_t items : {5, 10, 25, 50, 100, 200}) {
     proto::SimConfig config = PaperBaseConfig();
     harness::ApplyScale(options.scale, &config);
@@ -20,13 +26,16 @@ void Run(const harness::CliOptions& options) {
     config.workload.num_items = items;
     config.workload.max_items_per_txn = std::min(5, items);
     config.protocol = proto::Protocol::kS2pl;
-    const harness::PointResult s2pl =
-        harness::RunReplicated(config, options.scale.runs);
+    const size_t s2pl = grid.Add(config);
     config.protocol = proto::Protocol::kG2pl;
-    const harness::PointResult g2pl =
-        harness::RunReplicated(config, options.scale.runs);
+    rows.push_back({items, s2pl, grid.Add(config)});
+  }
+  grid.Run();
+  for (const Row& row : rows) {
+    const harness::PointResult& s2pl = grid.Result(row.s2pl);
+    const harness::PointResult& g2pl = grid.Result(row.g2pl);
     table.AddRow(
-        {std::to_string(items), harness::Fmt(s2pl.response.mean, 0),
+        {std::to_string(row.items), harness::Fmt(s2pl.response.mean, 0),
          harness::Fmt(g2pl.response.mean, 0),
          harness::Fmt(Improvement(s2pl.response.mean, g2pl.response.mean),
                       1),
@@ -35,6 +44,7 @@ void Run(const harness::CliOptions& options) {
          harness::Fmt(g2pl.abort_pct.mean, 2)});
   }
   table.Print(options.csv_path);
+  grid.PrintSummary();
 }
 
 }  // namespace

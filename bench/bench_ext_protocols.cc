@@ -19,6 +19,13 @@ void Run(const harness::CliOptions& options) {
       proto::Protocol::kCbl, proto::Protocol::kO2pl};
   harness::Table table({"latency", "protocol", "resp", "abort%",
                         "msgs/commit", "payload/commit"});
+  Grid grid(options);
+  struct Row {
+    SimTime latency;
+    proto::Protocol protocol;
+    size_t point;
+  };
+  std::vector<Row> rows;
   for (SimTime latency : {1, 100, 500}) {
     for (proto::Protocol protocol : kProtocols) {
       proto::SimConfig config = PaperBaseConfig();
@@ -26,16 +33,20 @@ void Run(const harness::CliOptions& options) {
       config.latency = latency;
       config.workload.read_prob = 0.6;
       config.protocol = protocol;
-      const harness::PointResult point =
-          harness::RunReplicated(config, options.scale.runs);
-      table.AddRow({std::to_string(latency), proto::ToString(protocol),
-                    harness::Fmt(point.response.mean, 0),
-                    harness::Fmt(point.abort_pct.mean, 2),
-                    harness::Fmt(point.mean_messages_per_commit, 1),
-                    harness::Fmt(point.mean_payload_per_commit, 1)});
+      rows.push_back({latency, protocol, grid.Add(config)});
     }
   }
+  grid.Run();
+  for (const Row& row : rows) {
+    const harness::PointResult& point = grid.Result(row.point);
+    table.AddRow({std::to_string(row.latency), proto::ToString(row.protocol),
+                  harness::Fmt(point.response.mean, 0),
+                  harness::Fmt(point.abort_pct.mean, 2),
+                  harness::Fmt(point.mean_messages_per_commit, 1),
+                  harness::Fmt(point.mean_payload_per_commit, 1)});
+  }
   table.Print(options.csv_path);
+  grid.PrintSummary();
 }
 
 }  // namespace

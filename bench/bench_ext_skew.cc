@@ -12,6 +12,12 @@ namespace {
 void Run(const harness::CliOptions& options) {
   harness::Table table({"zipf theta", "s-2PL resp", "g-2PL resp", "improv%",
                         "g-2PL FL len"});
+  Grid grid(options);
+  struct Row {
+    double theta;
+    size_t s2pl, g2pl;
+  };
+  std::vector<Row> rows;
   for (double theta : {0.0, 0.5, 0.9, 1.2, 1.5}) {
     proto::SimConfig config = PaperBaseConfig();
     harness::ApplyScale(options.scale, &config);
@@ -19,12 +25,15 @@ void Run(const harness::CliOptions& options) {
     config.workload.read_prob = 0.6;
     config.workload.zipf_theta = theta;
     config.protocol = proto::Protocol::kS2pl;
-    const harness::PointResult s2pl =
-        harness::RunReplicated(config, options.scale.runs);
+    const size_t s2pl = grid.Add(config);
     config.protocol = proto::Protocol::kG2pl;
-    const harness::PointResult g2pl =
-        harness::RunReplicated(config, options.scale.runs);
-    table.AddRow({harness::Fmt(theta, 1),
+    rows.push_back({theta, s2pl, grid.Add(config)});
+  }
+  grid.Run();
+  for (const Row& row : rows) {
+    const harness::PointResult& s2pl = grid.Result(row.s2pl);
+    const harness::PointResult& g2pl = grid.Result(row.g2pl);
+    table.AddRow({harness::Fmt(row.theta, 1),
                   harness::Fmt(s2pl.response.mean, 0),
                   harness::Fmt(g2pl.response.mean, 0),
                   harness::Fmt(
@@ -33,6 +42,7 @@ void Run(const harness::CliOptions& options) {
                   harness::Fmt(g2pl.fl_length.mean, 2)});
   }
   table.Print(options.csv_path);
+  grid.PrintSummary();
 }
 
 }  // namespace

@@ -19,6 +19,12 @@ namespace {
 void Run(const harness::CliOptions& options) {
   harness::Table table({"latency", "g-2PL abort%", "g-2PL-RO abort%",
                         "s-2PL abort%", "g-2PL expansions/commit"});
+  Grid grid(options);
+  struct Row {
+    SimTime latency;
+    size_t g2pl, g2pl_ro, s2pl;
+  };
+  std::vector<Row> rows;
   for (SimTime latency : {1, 2, 3, 4, 5, 7, 9, 11}) {
     proto::SimConfig config = PaperBaseConfig();
     harness::ApplyScale(options.scale, &config);
@@ -26,25 +32,26 @@ void Run(const harness::CliOptions& options) {
     config.workload.read_prob = 1.0;
 
     config.protocol = proto::Protocol::kG2pl;
-    const harness::PointResult g2pl =
-        harness::RunReplicated(config, options.scale.runs);
+    const size_t g2pl = grid.Add(config);
 
     config.g2pl.expand_read_groups = true;
-    const harness::PointResult g2pl_ro =
-        harness::RunReplicated(config, options.scale.runs);
+    const size_t g2pl_ro = grid.Add(config);
     config.g2pl.expand_read_groups = false;
 
     config.protocol = proto::Protocol::kS2pl;
-    const harness::PointResult s2pl =
-        harness::RunReplicated(config, options.scale.runs);
-
-    table.AddRow({std::to_string(latency),
-                  harness::Fmt(g2pl.abort_pct.mean, 2),
-                  harness::Fmt(g2pl_ro.abort_pct.mean, 2),
-                  harness::Fmt(s2pl.abort_pct.mean, 2),
-                  harness::Fmt(g2pl_ro.expansions_per_commit, 2)});
+    rows.push_back({latency, g2pl, g2pl_ro, grid.Add(config)});
+  }
+  grid.Run();
+  for (const Row& row : rows) {
+    table.AddRow({std::to_string(row.latency),
+                  harness::Fmt(grid.Result(row.g2pl).abort_pct.mean, 2),
+                  harness::Fmt(grid.Result(row.g2pl_ro).abort_pct.mean, 2),
+                  harness::Fmt(grid.Result(row.s2pl).abort_pct.mean, 2),
+                  harness::Fmt(
+                      grid.Result(row.g2pl_ro).expansions_per_commit, 2)});
   }
   table.Print(options.csv_path);
+  grid.PrintSummary();
 }
 
 }  // namespace

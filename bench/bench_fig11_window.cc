@@ -14,21 +14,27 @@ namespace {
 void Run(const harness::CliOptions& options) {
   harness::Table table({"fl-cap", "g-2PL abort%", "g-2PL resp",
                         "mean FL length"});
-  for (int32_t cap : {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 0}) {
+  Grid grid(options);
+  const std::vector<int32_t> caps = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 0};
+  for (int32_t cap : caps) {
     proto::SimConfig config = PaperBaseConfig();
     harness::ApplyScale(options.scale, &config);
     config.latency = 1;
     config.workload.read_prob = 1.0;
     config.protocol = proto::Protocol::kG2pl;
     config.g2pl.max_forward_list_length = cap;
-    const harness::PointResult point =
-        harness::RunReplicated(config, options.scale.runs);
-    table.AddRow({cap == 0 ? "inf" : std::to_string(cap),
+    grid.Add(config);
+  }
+  grid.Run();
+  for (size_t i = 0; i < caps.size(); ++i) {
+    const harness::PointResult& point = grid.Result(i);
+    table.AddRow({caps[i] == 0 ? "inf" : std::to_string(caps[i]),
                   harness::Fmt(point.abort_pct.mean, 2),
                   harness::Fmt(point.response.mean, 1),
                   harness::Fmt(point.fl_length.mean, 2)});
   }
   table.Print(options.csv_path);
+  grid.PrintSummary();
 }
 
 }  // namespace

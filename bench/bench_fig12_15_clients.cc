@@ -14,6 +14,13 @@ namespace {
 void Run(const harness::CliOptions& options) {
   harness::Table table({"pr", "clients", "s-2PL resp", "g-2PL resp",
                         "improv%", "s-2PL abort%", "g-2PL abort%"});
+  Grid grid(options);
+  struct Row {
+    double pr;
+    int32_t clients;
+    size_t s2pl, g2pl;
+  };
+  std::vector<Row> rows;
   for (double pr : {0.25, 0.75}) {
     for (int32_t clients : {10, 25, 50, 75, 100, 125, 150}) {
       proto::SimConfig config = PaperBaseConfig();
@@ -22,22 +29,26 @@ void Run(const harness::CliOptions& options) {
       config.latency = 500;
       config.workload.read_prob = pr;
       config.protocol = proto::Protocol::kS2pl;
-      const harness::PointResult s2pl =
-          harness::RunReplicated(config, options.scale.runs);
+      const size_t s2pl = grid.Add(config);
       config.protocol = proto::Protocol::kG2pl;
-      const harness::PointResult g2pl =
-          harness::RunReplicated(config, options.scale.runs);
-      table.AddRow(
-          {harness::Fmt(pr, 2), std::to_string(clients),
-           harness::Fmt(s2pl.response.mean, 0),
-           harness::Fmt(g2pl.response.mean, 0),
-           harness::Fmt(Improvement(s2pl.response.mean, g2pl.response.mean),
-                        1),
-           harness::Fmt(s2pl.abort_pct.mean, 2),
-           harness::Fmt(g2pl.abort_pct.mean, 2)});
+      rows.push_back({pr, clients, s2pl, grid.Add(config)});
     }
   }
+  grid.Run();
+  for (const Row& row : rows) {
+    const harness::PointResult& s2pl = grid.Result(row.s2pl);
+    const harness::PointResult& g2pl = grid.Result(row.g2pl);
+    table.AddRow(
+        {harness::Fmt(row.pr, 2), std::to_string(row.clients),
+         harness::Fmt(s2pl.response.mean, 0),
+         harness::Fmt(g2pl.response.mean, 0),
+         harness::Fmt(Improvement(s2pl.response.mean, g2pl.response.mean),
+                      1),
+         harness::Fmt(s2pl.abort_pct.mean, 2),
+         harness::Fmt(g2pl.abort_pct.mean, 2)});
+  }
   table.Print(options.csv_path);
+  grid.PrintSummary();
 }
 
 }  // namespace

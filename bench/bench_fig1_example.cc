@@ -9,6 +9,7 @@
 // queued clients showing the saving grow with the forward-list length.
 
 #include "bench_common.h"
+#include "exec/parallel.h"
 
 namespace gtpl::bench {
 namespace {
@@ -33,22 +34,32 @@ proto::SimConfig ExampleConfig(proto::Protocol protocol, int32_t clients) {
   return config;
 }
 
-void Run() {
+void Run(const harness::CliOptions& options) {
   harness::Table table({"clients", "s-2PL span", "g-2PL span", "reduction%",
                         "s-2PL msgs", "g-2PL msgs"});
-  for (int32_t clients : {2, 3, 5, 10, 20}) {
+  const std::vector<int32_t> kClients = {2, 3, 5, 10, 20};
+  std::vector<proto::SimConfig> configs;
+  for (int32_t clients : kClients) {
+    configs.push_back(ExampleConfig(proto::Protocol::kS2pl, clients));
+    configs.push_back(ExampleConfig(proto::Protocol::kG2pl, clients));
+  }
+  exec::ThreadPool pool(exec::ResolveJobs(options.jobs));
+  const std::vector<proto::RunResult> results = exec::ParallelMap(
+      pool, configs,
+      [](const proto::SimConfig& config) {
+        return proto::RunSimulation(config);
+      });
+  for (size_t i = 0; i < kClients.size(); ++i) {
     SimTime span[2];
     uint64_t msgs[2];
-    for (int i = 0; i < 2; ++i) {
-      const proto::SimConfig config = ExampleConfig(
-          i == 0 ? proto::Protocol::kS2pl : proto::Protocol::kG2pl, clients);
-      const proto::RunResult result = proto::RunSimulation(config);
+    for (int j = 0; j < 2; ++j) {
+      const proto::RunResult& result = results[2 * i + j];
       // All clients start at t=1000; the span is when the last transaction
       // completed its processing (max response).
-      span[i] = static_cast<SimTime>(result.response.max());
-      msgs[i] = result.network.messages;
+      span[j] = static_cast<SimTime>(result.response.max());
+      msgs[j] = result.network.messages;
     }
-    table.AddRow({std::to_string(clients), std::to_string(span[0]),
+    table.AddRow({std::to_string(kClients[i]), std::to_string(span[0]),
                   std::to_string(span[1]),
                   harness::Fmt(Improvement(static_cast<double>(span[0]),
                                            static_cast<double>(span[1])),
@@ -70,6 +81,6 @@ int main(int argc, char** argv) {
   const gtpl::harness::CliOptions options = gtpl::bench::ParseOrDie(argc, argv);
   gtpl::harness::PrintBanner(
       "Figure 1 / §3.2 example: grouped hand-offs on one hot item", options);
-  gtpl::bench::Run();
+  gtpl::bench::Run(options);
   return 0;
 }

@@ -14,6 +14,13 @@ namespace {
 void Run(const harness::CliOptions& options) {
   harness::Table table({"pr", "latency", "s-2PL resp", "g-2PL resp",
                         "improv%", "s-2PL ci%", "g-2PL ci%"});
+  Grid grid(options);
+  struct Row {
+    double pr;
+    SimTime latency;
+    size_t s2pl, g2pl;
+  };
+  std::vector<Row> rows;
   for (double pr : {0.0, 0.6, 1.0}) {
     for (SimTime latency : {1, 50, 100, 250, 500, 750}) {
       proto::SimConfig config = PaperBaseConfig();
@@ -21,22 +28,26 @@ void Run(const harness::CliOptions& options) {
       config.latency = latency;
       config.workload.read_prob = pr;
       config.protocol = proto::Protocol::kS2pl;
-      const harness::PointResult s2pl =
-          harness::RunReplicated(config, options.scale.runs);
+      const size_t s2pl = grid.Add(config);
       config.protocol = proto::Protocol::kG2pl;
-      const harness::PointResult g2pl =
-          harness::RunReplicated(config, options.scale.runs);
-      table.AddRow({harness::Fmt(pr, 2), std::to_string(latency),
-                    harness::Fmt(s2pl.response.mean, 0),
-                    harness::Fmt(g2pl.response.mean, 0),
-                    harness::Fmt(
-                        Improvement(s2pl.response.mean, g2pl.response.mean),
-                        1),
-                    harness::Fmt(100 * s2pl.response.relative_precision, 1),
-                    harness::Fmt(100 * g2pl.response.relative_precision, 1)});
+      rows.push_back({pr, latency, s2pl, grid.Add(config)});
     }
   }
+  grid.Run();
+  for (const Row& row : rows) {
+    const harness::PointResult& s2pl = grid.Result(row.s2pl);
+    const harness::PointResult& g2pl = grid.Result(row.g2pl);
+    table.AddRow({harness::Fmt(row.pr, 2), std::to_string(row.latency),
+                  harness::Fmt(s2pl.response.mean, 0),
+                  harness::Fmt(g2pl.response.mean, 0),
+                  harness::Fmt(
+                      Improvement(s2pl.response.mean, g2pl.response.mean),
+                      1),
+                  harness::Fmt(100 * s2pl.response.relative_precision, 1),
+                  harness::Fmt(100 * g2pl.response.relative_precision, 1)});
+  }
   table.Print(options.csv_path);
+  grid.PrintSummary();
 }
 
 }  // namespace

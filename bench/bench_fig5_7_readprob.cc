@@ -17,33 +17,44 @@ void Run(const harness::CliOptions& options) {
                         "improv%"});
   double crossover[3] = {-1.0, -1.0, -1.0};
   const SimTime kLatencies[3] = {1, 250, 750};
+  Grid grid(options);
+  struct Row {
+    int env;
+    double pr;
+    size_t s2pl, g2pl;
+  };
+  std::vector<Row> rows;
   for (int env = 0; env < 3; ++env) {
-    double previous_improvement = 0.0;
     for (double pr = 0.0; pr <= 1.001; pr += 0.1) {
       proto::SimConfig config = PaperBaseConfig();
       harness::ApplyScale(options.scale, &config);
       config.latency = kLatencies[env];
       config.workload.read_prob = pr;
       config.protocol = proto::Protocol::kS2pl;
-      const harness::PointResult s2pl =
-          harness::RunReplicated(config, options.scale.runs);
+      const size_t s2pl = grid.Add(config);
       config.protocol = proto::Protocol::kG2pl;
-      const harness::PointResult g2pl =
-          harness::RunReplicated(config, options.scale.runs);
-      const double improvement =
-          Improvement(s2pl.response.mean, g2pl.response.mean);
-      if (crossover[env] < 0 && improvement < 0 && pr > 0) {
-        // Linear interpolation of the zero crossing.
-        crossover[env] =
-            pr - 0.1 * (0.0 - improvement) /
-                     (previous_improvement - improvement);
-      }
-      previous_improvement = improvement;
-      table.AddRow({std::to_string(kLatencies[env]), harness::Fmt(pr, 1),
-                    harness::Fmt(s2pl.response.mean, 0),
-                    harness::Fmt(g2pl.response.mean, 0),
-                    harness::Fmt(improvement, 1)});
+      rows.push_back({env, pr, s2pl, grid.Add(config)});
     }
+  }
+  grid.Run();
+  double previous_improvement = 0.0;
+  for (const Row& row : rows) {
+    const harness::PointResult& s2pl = grid.Result(row.s2pl);
+    const harness::PointResult& g2pl = grid.Result(row.g2pl);
+    const double improvement =
+        Improvement(s2pl.response.mean, g2pl.response.mean);
+    if (crossover[row.env] < 0 && improvement < 0 && row.pr > 0) {
+      // Linear interpolation of the zero crossing.
+      crossover[row.env] =
+          row.pr - 0.1 * (0.0 - improvement) /
+                       (previous_improvement - improvement);
+    }
+    previous_improvement = improvement;
+    table.AddRow({std::to_string(kLatencies[row.env]),
+                  harness::Fmt(row.pr, 1),
+                  harness::Fmt(s2pl.response.mean, 0),
+                  harness::Fmt(g2pl.response.mean, 0),
+                  harness::Fmt(improvement, 1)});
   }
   table.Print(options.csv_path);
   for (int env = 0; env < 3; ++env) {
@@ -55,6 +66,7 @@ void Run(const harness::CliOptions& options) {
                   static_cast<long long>(kLatencies[env]));
     }
   }
+  grid.PrintSummary();
 }
 
 }  // namespace

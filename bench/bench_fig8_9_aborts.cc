@@ -15,6 +15,13 @@ void Run(const harness::CliOptions& options) {
   harness::Table table(
       {"pr", "latency", "s-2PL abort%", "g-2PL abort%", "s-2PL resp",
        "g-2PL resp"});
+  Grid grid(options);
+  struct Row {
+    double pr;
+    SimTime latency;
+    size_t s2pl, g2pl;
+  };
+  std::vector<Row> rows;
   for (double pr : {0.6, 0.8}) {
     for (SimTime latency : {1, 50, 100, 250, 500, 750}) {
       proto::SimConfig config = PaperBaseConfig();
@@ -22,19 +29,23 @@ void Run(const harness::CliOptions& options) {
       config.latency = latency;
       config.workload.read_prob = pr;
       config.protocol = proto::Protocol::kS2pl;
-      const harness::PointResult s2pl =
-          harness::RunReplicated(config, options.scale.runs);
+      const size_t s2pl = grid.Add(config);
       config.protocol = proto::Protocol::kG2pl;
-      const harness::PointResult g2pl =
-          harness::RunReplicated(config, options.scale.runs);
-      table.AddRow({harness::Fmt(pr, 1), std::to_string(latency),
-                    harness::Fmt(s2pl.abort_pct.mean, 2),
-                    harness::Fmt(g2pl.abort_pct.mean, 2),
-                    harness::Fmt(s2pl.response.mean, 0),
-                    harness::Fmt(g2pl.response.mean, 0)});
+      rows.push_back({pr, latency, s2pl, grid.Add(config)});
     }
   }
+  grid.Run();
+  for (const Row& row : rows) {
+    const harness::PointResult& s2pl = grid.Result(row.s2pl);
+    const harness::PointResult& g2pl = grid.Result(row.g2pl);
+    table.AddRow({harness::Fmt(row.pr, 1), std::to_string(row.latency),
+                  harness::Fmt(s2pl.abort_pct.mean, 2),
+                  harness::Fmt(g2pl.abort_pct.mean, 2),
+                  harness::Fmt(s2pl.response.mean, 0),
+                  harness::Fmt(g2pl.response.mean, 0)});
+  }
   table.Print(options.csv_path);
+  grid.PrintSummary();
 }
 
 }  // namespace

@@ -21,6 +21,7 @@ namespace {
 struct Flags {
   gtpl::proto::SimConfig config;
   int32_t runs = 1;
+  int jobs = 1;  // replications run serially unless --jobs raises it
 };
 
 void PrintUsage(const char* prog) {
@@ -40,6 +41,7 @@ void PrintUsage(const char* prog) {
       "  --txns=N             measured committed transactions (10000)\n"
       "  --warmup=N           transient-phase transactions excluded (1000)\n"
       "  --runs=N             independent replications (1)\n"
+      "  --jobs=N             worker threads for replications (1; 0 = auto)\n"
       "  --seed=N             base RNG seed (1)\n"
       "  --mr1w=0|1           g-2PL MR1W optimization (1)\n"
       "  --fl-cap=N           g-2PL forward-list length cap, 0 = none (0)\n"
@@ -100,6 +102,8 @@ bool ParseFlag(const std::string& arg, Flags* flags) {
     config.warmup_txns = std::atoll(v11);
   } else if (const char* v12 = value_of("--runs=")) {
     flags->runs = std::atoi(v12);
+  } else if (const char* vj = value_of("--jobs=")) {
+    flags->jobs = std::atoi(vj);
   } else if (const char* v13 = value_of("--seed=")) {
     config.seed = static_cast<uint64_t>(std::atoll(v13));
   } else if (const char* v14 = value_of("--mr1w=")) {
@@ -163,7 +167,7 @@ int main(int argc, char** argv) {
               flags.config.workload.zipf_theta);
 
   const gtpl::harness::PointResult point =
-      gtpl::harness::RunReplicated(flags.config, flags.runs);
+      gtpl::harness::RunReplicated(flags.config, flags.runs, flags.jobs);
   gtpl::harness::Table table({"metric", "value"});
   table.AddRow({"replications", std::to_string(flags.runs)});
   table.AddRow({"mean response time",

@@ -1,13 +1,17 @@
 // WAN scaling demo: the paper's headline claim on one page. Sweeps the six
 // Table-2 network environments at the Table-1 workload and prints how the
 // two protocols scale from a single-segment LAN to a large WAN, including
-// the response-time histogram of the s-WAN point.
+// the response-time histogram of the s-WAN point. The whole 12-point grid
+// fans out across worker threads (GTPL_JOBS or all cores) via
+// harness::RunSweep; results are bit-identical at any thread count.
 //
-//   ./build/examples/wan_scaling [read_prob]   (default 0.6)
+//   ./build/examples/wan_scaling [read_prob] [jobs]   (default 0.6, auto)
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "harness/experiment.h"
 #include "harness/table.h"
 #include "net/latency_model.h"
 #include "protocols/config.h"
@@ -16,8 +20,8 @@
 
 namespace {
 
-gtpl::proto::RunResult RunOne(gtpl::proto::Protocol protocol,
-                              gtpl::SimTime latency, double read_prob) {
+gtpl::proto::SimConfig PointConfig(gtpl::proto::Protocol protocol,
+                                   gtpl::SimTime latency, double read_prob) {
   gtpl::proto::SimConfig config;
   config.protocol = protocol;
   config.num_clients = 50;
@@ -27,7 +31,7 @@ gtpl::proto::RunResult RunOne(gtpl::proto::Protocol protocol,
   config.warmup_txns = 300;
   config.seed = 2026;
   config.max_sim_time = 60'000'000'000;
-  return gtpl::proto::RunSimulation(config);
+  return config;
 }
 
 }  // namespace
@@ -38,47 +42,58 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "read_prob must be in [0,1]\n");
     return 2;
   }
+  const int jobs = argc > 2 ? std::atoi(argv[2]) : 0;
   std::printf(
       "g-2PL vs s-2PL across the paper's network environments\n"
       "(50 clients, 25 hot items, 1-5 items/txn, read probability %.2f)\n\n",
       read_prob);
+
+  // Two sweep points per environment: s-2PL then g-2PL.
+  const std::vector<gtpl::net::NetworkEnvironment> environments =
+      gtpl::net::PaperEnvironments();
+  std::vector<gtpl::proto::SimConfig> points;
+  for (const gtpl::net::NetworkEnvironment& env : environments) {
+    points.push_back(
+        PointConfig(gtpl::proto::Protocol::kS2pl, env.latency, read_prob));
+    points.push_back(
+        PointConfig(gtpl::proto::Protocol::kG2pl, env.latency, read_prob));
+  }
+  const gtpl::harness::SweepResult sweep =
+      gtpl::harness::RunSweep(points, /*runs=*/1, jobs);
+
   gtpl::harness::Table table({"environment", "latency", "s-2PL resp",
                               "g-2PL resp", "improvement", "g-2PL FL len"});
-  gtpl::proto::RunResult swan_g2pl;
-  for (const gtpl::net::NetworkEnvironment& env :
-       gtpl::net::PaperEnvironments()) {
-    const gtpl::proto::RunResult s2pl =
-        RunOne(gtpl::proto::Protocol::kS2pl, env.latency, read_prob);
-    gtpl::proto::RunResult g2pl =
-        RunOne(gtpl::proto::Protocol::kG2pl, env.latency, read_prob);
+  for (size_t i = 0; i < environments.size(); ++i) {
+    const gtpl::net::NetworkEnvironment& env = environments[i];
+    const gtpl::harness::PointResult& s2pl = sweep.points[2 * i];
+    const gtpl::harness::PointResult& g2pl = sweep.points[2 * i + 1];
     table.AddRow(
         {env.abbreviation, std::to_string(env.latency),
-         gtpl::harness::Fmt(s2pl.response.mean(), 0),
-         gtpl::harness::Fmt(g2pl.response.mean(), 0),
-         gtpl::harness::Fmt(100.0 *
-                                (s2pl.response.mean() - g2pl.response.mean()) /
-                                s2pl.response.mean(),
+         gtpl::harness::Fmt(s2pl.response.mean, 0),
+         gtpl::harness::Fmt(g2pl.response.mean, 0),
+         gtpl::harness::Fmt(100.0 * (s2pl.response.mean - g2pl.response.mean) /
+                                s2pl.response.mean,
                             1) +
              "%",
-         gtpl::harness::Fmt(g2pl.mean_forward_list_length, 2)});
-    if (env.latency == 500) swan_g2pl = std::move(g2pl);
+         gtpl::harness::Fmt(g2pl.fl_length.mean, 2)});
   }
   table.Print();
+  std::printf(
+      "\ngrid: %zu points completed in %.2f s on %d thread(s) "
+      "(serial-equivalent %.2f s, speedup %.2fx)\n",
+      sweep.points.size(), sweep.wall_seconds, sweep.jobs,
+      sweep.serial_seconds,
+      sweep.wall_seconds > 0.0 ? sweep.serial_seconds / sweep.wall_seconds
+                               : 0.0);
 
   std::printf("\ns-WAN g-2PL response-time distribution:\n");
-  gtpl::stats::Histogram histogram(3.0 * swan_g2pl.response.max() / 2, 24);
-  // Re-run to collect the distribution (RunResult keeps only moments).
-  gtpl::proto::SimConfig config;
-  config.protocol = gtpl::proto::Protocol::kG2pl;
-  config.num_clients = 50;
-  config.latency = 500;
-  config.workload.read_prob = read_prob;
-  config.measured_txns = 3000;
-  config.warmup_txns = 300;
-  config.seed = 2026;
+  // Re-run the s-WAN point with history recording (RunResult keeps only
+  // moments; the sweep drops per-transaction data).
+  gtpl::proto::SimConfig config =
+      PointConfig(gtpl::proto::Protocol::kG2pl, 500, read_prob);
   config.record_history = true;
-  config.max_sim_time = 60'000'000'000;
   const gtpl::proto::RunResult detailed = gtpl::proto::RunSimulation(config);
+  gtpl::stats::Histogram histogram(3.0 * detailed.response.max() / 2, 24);
   for (const gtpl::proto::CommittedTxn& txn : detailed.history) {
     histogram.Add(static_cast<double>(txn.commit_time - txn.start_time));
   }

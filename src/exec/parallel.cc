@@ -1,0 +1,38 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gtpl::exec {
+
+void ParallelFor(ThreadPool& pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn, int64_t chunk) {
+  GTPL_CHECK_LE(begin, end);
+  const int64_t n = end - begin;
+  if (n == 0) return;
+  if (chunk <= 0) {
+    chunk = std::max<int64_t>(1, n / (4 * pool.num_threads()));
+  }
+  std::vector<std::future<void>> chunks;
+  chunks.reserve(static_cast<size_t>((n + chunk - 1) / chunk));
+  for (int64_t lo = begin; lo < end; lo += chunk) {
+    const int64_t hi = std::min(end, lo + chunk);
+    chunks.push_back(pool.Submit([&fn, lo, hi] {
+      for (int64_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
+  // Wait for everything first so the range always runs to completion, then
+  // rethrow the lowest-indexed failure (deterministic regardless of timing).
+  std::exception_ptr first_error;
+  for (std::future<void>& done : chunks) {
+    try {
+      done.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace gtpl::exec

@@ -1,0 +1,42 @@
+#ifndef GTPL_EXEC_PARALLEL_H_
+#define GTPL_EXEC_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace gtpl::exec {
+
+/// Runs `fn(i)` for every i in [begin, end) on the pool and blocks until all
+/// iterations finished. Iterations are grouped into chunks of `chunk`
+/// consecutive indices (0 = pick automatically, roughly 4 chunks per
+/// worker). If iterations throw, the exception of the lowest-indexed
+/// throwing chunk is rethrown after every chunk has run to completion.
+///
+/// Must be called from outside the pool (a pool task calling ParallelFor on
+/// its own pool would wait on workers that may all be busy).
+void ParallelFor(ThreadPool& pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn, int64_t chunk = 0);
+
+/// Applies `fn` to every element of `items` on the pool and returns the
+/// results in input order. Result type must be default-constructible.
+template <typename T, typename F>
+auto ParallelMap(ThreadPool& pool, const std::vector<T>& items, F fn)
+    -> std::vector<decltype(fn(items.front()))> {
+  using R = decltype(fn(items.front()));
+  std::vector<R> results(items.size());
+  ParallelFor(pool, 0, static_cast<int64_t>(items.size()),
+              [&items, &results, &fn](int64_t i) {
+                results[static_cast<size_t>(i)] =
+                    fn(items[static_cast<size_t>(i)]);
+              },
+              /*chunk=*/1);
+  return results;
+}
+
+}  // namespace gtpl::exec
+
+#endif  // GTPL_EXEC_PARALLEL_H_

@@ -1,0 +1,67 @@
+#ifndef GTPL_EXEC_SWEEP_H_
+#define GTPL_EXEC_SWEEP_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
+
+namespace gtpl::exec {
+
+/// Fans a (config-point × replication) grid of independent cells out across
+/// a worker pool and returns the raw per-cell results grouped by point, in
+/// (point, rep) order. Because every cell writes only its own slot and the
+/// caller aggregates the gathered rows serially, the output is bit-identical
+/// at any job count — parallelism changes wall-clock time, never results.
+///
+/// `run(point, rep)` must be pure (no shared mutable state); `T` must be
+/// default-constructible. `jobs == 1` runs inline without spawning threads.
+template <typename T>
+class SweepRunner {
+ public:
+  /// `jobs` as accepted by ResolveJobs() (<= 0 = GTPL_JOBS / hardware).
+  explicit SweepRunner(int jobs) : jobs_(ResolveJobs(jobs)) {}
+
+  int jobs() const { return jobs_; }
+
+  /// Wall-clock seconds of the last Run() call.
+  double elapsed_seconds() const { return elapsed_seconds_; }
+
+  std::vector<std::vector<T>> Run(
+      size_t num_points, int32_t reps,
+      const std::function<T(size_t, int32_t)>& run) {
+    const auto started = std::chrono::steady_clock::now();
+    std::vector<std::vector<T>> grid(num_points);
+    for (std::vector<T>& row : grid) row.resize(static_cast<size_t>(reps));
+    const int64_t cells = static_cast<int64_t>(num_points) * reps;
+    auto run_cell = [&grid, &run, reps](int64_t cell) {
+      const size_t point = static_cast<size_t>(cell / reps);
+      const int32_t rep = static_cast<int32_t>(cell % reps);
+      grid[point][static_cast<size_t>(rep)] = run(point, rep);
+    };
+    if (jobs_ == 1) {
+      for (int64_t cell = 0; cell < cells; ++cell) run_cell(cell);
+    } else {
+      ThreadPool pool(jobs_);
+      // One cell per task: cells are whole simulations, far heavier than the
+      // enqueue overhead, and fine-grained tasks keep the tail balanced.
+      ParallelFor(pool, 0, cells, run_cell, /*chunk=*/1);
+    }
+    elapsed_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    return grid;
+  }
+
+ private:
+  int jobs_;
+  double elapsed_seconds_ = 0.0;
+};
+
+}  // namespace gtpl::exec
+
+#endif  // GTPL_EXEC_SWEEP_H_

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <string>
 
+#include "exec/thread_pool.h"
+
 namespace gtpl::harness {
 namespace {
 
@@ -49,6 +51,11 @@ Status ParseCli(int argc, char** argv, CliOptions* options) {
       options->scale.base_seed = static_cast<uint64_t>(value);
     } else if (const char* v5 = value_of("--csv=")) {
       options->csv_path = v5;
+    } else if (const char* v6 = value_of("--jobs=")) {
+      if (!ParseInt64(v6, &value) || value < 1 || value > 4096) {
+        return Status::InvalidArgument("bad --jobs");
+      }
+      options->jobs = static_cast<int>(value);
     } else if (arg == "--full") {
       options->scale.measured_txns = 50000;
       options->scale.warmup_txns = 5000;
@@ -60,7 +67,7 @@ Status ParseCli(int argc, char** argv, CliOptions* options) {
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: %s [--txns=N] [--warmup=N] [--runs=N] [--seed=N] "
-                   "[--full] [--quick] [--csv=PATH]\n",
+                   "[--jobs=N] [--full] [--quick] [--csv=PATH]\n",
                    argv[0]);
       return Status::InvalidArgument("help requested");
     } else {
@@ -75,10 +82,11 @@ void PrintBanner(const std::string& title, const CliOptions& options) {
   std::printf("=== %s ===\n", title.c_str());
   std::printf(
       "scale: %lld measured txns (+%lld warmup) x %d replications, "
-      "seed %llu\n\n",
+      "seed %llu, %d worker thread(s)\n\n",
       static_cast<long long>(options.scale.measured_txns),
       static_cast<long long>(options.scale.warmup_txns), options.scale.runs,
-      static_cast<unsigned long long>(options.scale.base_seed));
+      static_cast<unsigned long long>(options.scale.base_seed),
+      exec::ResolveJobs(options.jobs));
 }
 
 }  // namespace gtpl::harness

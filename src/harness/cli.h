@@ -13,12 +13,16 @@ namespace gtpl::harness {
 ///   --warmup=N   warmup transactions (default 400)
 ///   --runs=N     replications per point (default 3)
 ///   --seed=N     base seed (default 42)
+///   --jobs=N     worker threads for the sweep grid (default: GTPL_JOBS
+///                env var, else all hardware threads; results are
+///                bit-identical at any value)
 ///   --full       paper scale: 50000 measured txns, 5 replications
 ///   --quick      smoke scale: 800 measured txns, 2 replications
 ///   --csv=PATH   also write the main table as CSV
 struct CliOptions {
   ExperimentScale scale;
   std::string csv_path;
+  int jobs = 0;  // 0 = auto (GTPL_JOBS env, else hardware threads)
 };
 
 /// Parses argv. On error prints usage to stderr and returns a non-ok status.

@@ -1,11 +1,36 @@
 #include "harness/experiment.h"
 
+#include <chrono>
+#include <utility>
+
 #include "common/check.h"
+#include "exec/sweep.h"
+#include "rng/rng.h"
 
 namespace gtpl::harness {
+namespace {
 
-PointResult RunReplicated(proto::SimConfig config, int32_t runs) {
-  GTPL_CHECK_GE(runs, 1);
+/// One replication's raw output plus its wall-clock cost.
+struct ReplicaRun {
+  proto::RunResult result;
+  double seconds = 0.0;
+};
+
+ReplicaRun RunOneReplica(proto::SimConfig config, uint64_t seed) {
+  config.seed = seed;
+  const auto started = std::chrono::steady_clock::now();
+  ReplicaRun run;
+  run.result = proto::RunSimulation(config);
+  run.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+  return run;
+}
+
+/// Folds one point's replications, in replication order, into a
+/// PointResult. Serial and order-deterministic by construction, so the
+/// aggregate is bit-identical however the replications were scheduled.
+PointResult AggregateReplications(const std::vector<ReplicaRun>& runs) {
   PointResult out;
   std::vector<double> responses;
   std::vector<double> abort_pcts;
@@ -14,10 +39,8 @@ PointResult RunReplicated(proto::SimConfig config, int32_t runs) {
   double messages = 0.0;
   double payload = 0.0;
   double expansions = 0.0;
-  const uint64_t base_seed = config.seed;
-  for (int32_t rep = 0; rep < runs; ++rep) {
-    config.seed = base_seed + static_cast<uint64_t>(rep) + 1;
-    proto::RunResult result = proto::RunSimulation(config);
+  for (const ReplicaRun& run : runs) {
+    const proto::RunResult& result = run.result;
     responses.push_back(result.response.mean());
     abort_pcts.push_back(result.AbortPercent());
     throughputs.push_back(result.Throughput());
@@ -25,6 +48,7 @@ PointResult RunReplicated(proto::SimConfig config, int32_t runs) {
     out.total_commits += result.commits;
     out.total_aborts += result.aborts;
     out.any_timed_out = out.any_timed_out || result.timed_out;
+    out.wall_seconds += run.seconds;
     if (result.commits > 0) {
       messages += static_cast<double>(result.network.messages) /
                   static_cast<double>(result.commits);
@@ -34,14 +58,68 @@ PointResult RunReplicated(proto::SimConfig config, int32_t runs) {
                     static_cast<double>(result.commits);
     }
   }
+  const auto runs_count = static_cast<double>(runs.size());
   out.response = stats::Summarize(responses);
   out.abort_pct = stats::Summarize(abort_pcts);
   out.throughput = stats::Summarize(throughputs);
   out.fl_length = stats::Summarize(fl_lengths);
-  out.mean_messages_per_commit = messages / runs;
-  out.mean_payload_per_commit = payload / runs;
-  out.expansions_per_commit = expansions / runs;
+  out.mean_messages_per_commit = messages / runs_count;
+  out.mean_payload_per_commit = payload / runs_count;
+  out.expansions_per_commit = expansions / runs_count;
   return out;
+}
+
+SweepResult RunSweepImpl(const std::vector<proto::SimConfig>& points,
+                         int32_t runs, int jobs, bool mix_point_seeds) {
+  GTPL_CHECK_GE(runs, 1);
+  exec::SweepRunner<ReplicaRun> runner(jobs);
+  const std::vector<std::vector<ReplicaRun>> grid = runner.Run(
+      points.size(), runs, [&points, mix_point_seeds](size_t point, int32_t rep) {
+        const proto::SimConfig& config = points[point];
+        const uint64_t point_seed =
+            mix_point_seeds ? PointSeed(config.seed, point) : config.seed;
+        return RunOneReplica(config, ReplicaSeed(point_seed, rep));
+      });
+  SweepResult out;
+  out.jobs = runner.jobs();
+  out.wall_seconds = runner.elapsed_seconds();
+  out.points.reserve(grid.size());
+  for (const std::vector<ReplicaRun>& point_runs : grid) {
+    out.points.push_back(AggregateReplications(point_runs));
+    out.serial_seconds += out.points.back().wall_seconds;
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t ReplicaSeed(uint64_t point_seed, int32_t rep) {
+  // Key the stream position with an odd multiplier so that nearby base
+  // seeds (42, 43, ...) land on unrelated stream offsets instead of
+  // overlapping windows, the collision the old `seed + rep + 1` scheme had.
+  return rng::SplitMix64(point_seed +
+                         0xD1342543DE82EF95ULL *
+                             (static_cast<uint64_t>(rep) + 1));
+}
+
+uint64_t PointSeed(uint64_t base_seed, size_t point_index) {
+  // A different odd constant keeps point streams disjoint from replica
+  // streams of the same base seed.
+  return rng::SplitMix64(base_seed +
+                         0xA0761D6478BD642FULL *
+                             (static_cast<uint64_t>(point_index) + 1));
+}
+
+PointResult RunReplicated(proto::SimConfig config, int32_t runs, int jobs) {
+  SweepResult sweep =
+      RunSweepImpl({config}, runs, jobs, /*mix_point_seeds=*/false);
+  return std::move(sweep.points.front());
+}
+
+SweepResult RunSweep(const std::vector<proto::SimConfig>& points,
+                     int32_t runs, int jobs) {
+  GTPL_CHECK_GE(points.size(), 1u);
+  return RunSweepImpl(points, runs, jobs, /*mix_point_seeds=*/true);
 }
 
 void ApplyScale(const ExperimentScale& scale, proto::SimConfig* config) {

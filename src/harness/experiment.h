@@ -1,6 +1,7 @@
 #ifndef GTPL_HARNESS_EXPERIMENT_H_
 #define GTPL_HARNESS_EXPERIMENT_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -25,11 +26,43 @@ struct PointResult {
   int64_t total_commits = 0;
   int64_t total_aborts = 0;
   bool any_timed_out = false;
+  /// Summed wall-clock seconds of this point's replications (the point's
+  /// serial cost, independent of how many workers ran it).
+  double wall_seconds = 0.0;
 };
 
-/// Runs `runs` replications of `config` with seeds seed+1 ... seed+runs and
-/// aggregates. `mutate_seed` of the config itself is ignored.
-PointResult RunReplicated(proto::SimConfig config, int32_t runs);
+/// Seed of replication `rep` (0-based) of a point whose configured seed is
+/// `point_seed`: one SplitMix64 step keyed by the replication index, so runs
+/// never collide across replications or across nearby base seeds (the old
+/// `seed + rep + 1` scheme shared runs between adjacent sweep points).
+uint64_t ReplicaSeed(uint64_t point_seed, int32_t rep);
+
+/// Seed of sweep point `point_index` under base seed `base_seed`. A second
+/// SplitMix64 stream keyed with a different odd constant, so point streams
+/// and replica streams never alias.
+uint64_t PointSeed(uint64_t base_seed, size_t point_index);
+
+/// Runs `runs` replications of `config` with per-replication seeds
+/// ReplicaSeed(config.seed, rep) and aggregates. `jobs` replications run
+/// concurrently (1 = serial inline, <= 0 = GTPL_JOBS / all cores); results
+/// are bit-identical at any job count.
+PointResult RunReplicated(proto::SimConfig config, int32_t runs,
+                          int jobs = 1);
+
+/// Result of a (config-point × replication) sweep.
+struct SweepResult {
+  std::vector<PointResult> points;  // one per input config, in input order
+  double wall_seconds = 0.0;    // elapsed wall clock of the whole grid
+  double serial_seconds = 0.0;  // sum of all per-replication wall clocks
+  int jobs = 1;                 // worker threads actually used
+};
+
+/// Fans `points.size() × runs` simulations out across `jobs` worker threads
+/// and aggregates each point's replications in deterministic order. Point k
+/// runs with seed PointSeed(points[k].seed, k), i.e. its PointResult equals
+/// RunReplicated(points[k] with that seed, runs) exactly, at any job count.
+SweepResult RunSweep(const std::vector<proto::SimConfig>& points,
+                     int32_t runs, int jobs = 0);
 
 /// How hard the bench binaries drive each point. Paper scale is 50000
 /// measured transactions x 5 replications; the default is scaled down to

@@ -16,6 +16,8 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t SplitMix64(uint64_t x) { return SplitMix64(&x); }
+
 void Rng::Seed(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& word : s_) word = SplitMix64(&sm);

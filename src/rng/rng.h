@@ -5,6 +5,12 @@
 
 namespace gtpl::rng {
 
+/// One step of the SplitMix64 stream at state `x`: increments by the golden
+/// ratio and applies the output finalizer. A cheap, high-quality 64->64
+/// mixer; the harness builds collision-free per-(point, replication) seed
+/// streams out of it.
+uint64_t SplitMix64(uint64_t x);
+
 /// Deterministic xoshiro256** generator seeded via SplitMix64.
 ///
 /// Self-contained (no <random>) so that results are identical across standard

@@ -3,6 +3,8 @@
 
 #include "harness/experiment.h"
 
+#include <set>
+
 #include <gtest/gtest.h>
 
 #include "harness/cli.h"
@@ -89,6 +91,43 @@ TEST(CliTest, RejectsUnknownAndMalformed) {
   char neg[] = "--txns=-5";
   char* argv3[] = {prog, neg};
   EXPECT_FALSE(ParseCli(2, argv3, &options).ok());
+}
+
+TEST(SeedTest, ReplicaSeedsNeverCollideAcrossNearbyBaseSeeds) {
+  // The old scheme used seed + rep + 1, so base seeds 42 and 43 shared all
+  // but one replication. The SplitMix64 derivation keeps every
+  // (base, rep) combination distinct over realistic sweep ranges.
+  std::set<uint64_t> seen;
+  for (uint64_t base = 42; base < 142; ++base) {
+    for (int32_t rep = 0; rep < 20; ++rep) {
+      EXPECT_TRUE(seen.insert(ReplicaSeed(base, rep)).second)
+          << "collision at base " << base << " rep " << rep;
+    }
+  }
+}
+
+TEST(SeedTest, PointSeedsDisjointFromReplicaSeeds) {
+  std::set<uint64_t> seen;
+  for (uint64_t base = 1; base < 51; ++base) {
+    for (size_t point = 0; point < 40; ++point) {
+      EXPECT_TRUE(seen.insert(PointSeed(base, point)).second);
+    }
+    for (int32_t rep = 0; rep < 40; ++rep) {
+      EXPECT_TRUE(seen.insert(ReplicaSeed(base, rep)).second);
+    }
+  }
+}
+
+TEST(CliTest, ParsesJobsFlag) {
+  CliOptions options;
+  char prog[] = "bench";
+  char jobs[] = "--jobs=8";
+  char* argv[] = {prog, jobs};
+  ASSERT_TRUE(ParseCli(2, argv, &options).ok());
+  EXPECT_EQ(options.jobs, 8);
+  char zero[] = "--jobs=0";
+  char* argv2[] = {prog, zero};
+  EXPECT_FALSE(ParseCli(2, argv2, &options).ok());
 }
 
 TEST(ExperimentTest, RunReplicatedAggregatesAcrossSeeds) {
