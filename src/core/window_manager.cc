@@ -8,16 +8,21 @@
 namespace gtpl::core {
 
 WindowManager::WindowManager(int32_t num_items, const G2plOptions& options,
-                             db::DataStore* store, Callbacks callbacks)
+                             db::DataStore* store, Callbacks callbacks,
+                             ShardCoordinator* coordinator)
     : options_(options),
       store_(store),
       callbacks_(std::move(callbacks)),
-      items_(static_cast<size_t>(num_items)) {
+      items_(static_cast<size_t>(num_items)),
+      owned_coord_(coordinator == nullptr ? std::make_unique<ShardCoordinator>()
+                                          : nullptr),
+      coord_(coordinator == nullptr ? owned_coord_.get() : coordinator) {
   GTPL_CHECK_GT(num_items, 0);
   GTPL_CHECK(store_ != nullptr);
   GTPL_CHECK_GE(options_.max_forward_list_length, 0);
   GTPL_CHECK(callbacks_.dispatch != nullptr);
   GTPL_CHECK(callbacks_.abort != nullptr);
+  coord_->Register(this);
 }
 
 WindowManager::ItemState& WindowManager::StateOf(ItemId item) {
@@ -28,8 +33,8 @@ WindowManager::ItemState& WindowManager::StateOf(ItemId item) {
 
 void WindowManager::OnRequest(TxnId txn, SiteId client, ItemId item,
                               LockMode mode, int32_t restart_count) {
-  if (aborted_.count(txn) > 0) return;  // stale in-flight request
-  txn_client_[txn] = client;
+  if (coord_->aborted_.count(txn) > 0) return;  // stale in-flight request
+  coord_->txn_client_[txn] = client;
   ItemState& state = StateOf(item);
 
   if (state.at_server) {
@@ -43,13 +48,13 @@ void WindowManager::OnRequest(TxnId txn, SiteId client, ItemId item,
     PendingRequest request{txn, client, mode, arrival_counter_++,
                            restart_count};
     std::vector<TxnId> reached =
-        graph_.ReachableAmong(txn, state.undrained_members);
+        coord_->graph_.ReachableAmong(txn, state.undrained_members);
     if (!reached.empty()) {
       if (!ResolveCycle(item, request, std::move(reached))) {
         return;  // requester aborted
       }
     }
-    graph_.PromoteRequestEdgesInto(txn);  // stale waits become order facts
+    coord_->graph_.PromoteRequestEdgesInto(txn);  // stale waits become order facts
     AddAccessorOrderEdges(item, txn);
     ForwardListBuilder builder;
     builder.Add(txn, client, mode);
@@ -78,7 +83,7 @@ void WindowManager::OnRequest(TxnId txn, SiteId client, ItemId item,
       (options_.max_forward_list_length == 0 ||
        state.fl->num_members() < options_.max_forward_list_length) &&
       !ReachesOlderAccessor(item, txn)) {
-    graph_.PromoteRequestEdgesInto(txn);
+    coord_->graph_.PromoteRequestEdgesInto(txn);
     AddAccessorOrderEdges(item, txn, /*skip_current_window=*/true);
     std::vector<FlEntry> entries{state.fl->entry(0)};
     entries[0].members.push_back(FlMember{txn, client});
@@ -99,14 +104,14 @@ void WindowManager::OnRequest(TxnId txn, SiteId client, ItemId item,
   // cycle iff txn already reaches a member.
   PendingRequest request{txn, client, mode, arrival_counter_++, restart_count};
   std::vector<TxnId> reached =
-      graph_.ReachableAmong(txn, state.undrained_members);
+      coord_->graph_.ReachableAmong(txn, state.undrained_members);
   if (!reached.empty()) {
     if (!ResolveCycle(item, request, std::move(reached))) {
       return;  // requester aborted
     }
   }
   for (TxnId member : state.undrained_members) {
-    graph_.AddEdge(member, txn, kRequestEdge);
+    coord_->graph_.AddEdge(member, txn, kRequestEdge);
   }
   if (mode == LockMode::kExclusive) state.has_pending_write = true;
   state.pending.push_back(request);
@@ -124,12 +129,12 @@ bool WindowManager::ResolveCycle(ItemId item, const PendingRequest& request,
       if (callbacks_.can_abort != nullptr && !callbacks_.can_abort(member)) {
         continue;
       }
-      auto it = txn_client_.find(member);
-      GTPL_CHECK(it != txn_client_.end());
+      auto it = coord_->txn_client_.find(member);
+      GTPL_CHECK(it != coord_->txn_client_.end());
       AbortTxn(member, it->second);
     }
     std::vector<TxnId> still_reached =
-        graph_.ReachableAmong(request.txn, state.undrained_members);
+        coord_->graph_.ReachableAmong(request.txn, state.undrained_members);
     if (still_reached.empty()) return true;
     // Structural constraints persist; fall through to aborting the requester.
   }
@@ -138,14 +143,15 @@ bool WindowManager::ResolveCycle(ItemId item, const PendingRequest& request,
 }
 
 void WindowManager::AbortTxn(TxnId txn, SiteId client) {
-  if (!aborted_.insert(txn).second) return;  // already aborted
+  if (!coord_->aborted_.insert(txn).second) return;  // already aborted
   ++avoidance_aborts_;
-  OnTxnAborted(txn);
+  coord_->OnTxnAborted(txn);
   callbacks_.abort(txn, client);
 }
 
-void WindowManager::OnTxnAborted(TxnId txn) {
-  aborted_.insert(txn);
+void WindowManager::OnTxnAborted(TxnId txn) { coord_->OnTxnAborted(txn); }
+
+void WindowManager::PurgeAbortedRequest(TxnId txn) {
   // Purge the (single, sequential-execution) outstanding request, if any.
   if (auto it = outstanding_request_.find(txn);
       it != outstanding_request_.end()) {
@@ -157,6 +163,22 @@ void WindowManager::OnTxnAborted(TxnId txn) {
     RecomputePendingWriteFlag(state);
     outstanding_request_.erase(it);
   }
+}
+
+void WindowManager::EraseMembership(TxnId txn) {
+  if (auto it = member_of_.find(txn); it != member_of_.end()) {
+    for (ItemId item : it->second) {
+      StateOf(item).undrained_members.erase(txn);
+    }
+    member_of_.erase(it);
+  }
+}
+
+void WindowManager::OnTxnDrained(TxnId txn) { coord_->OnTxnDrained(txn); }
+
+void ShardCoordinator::OnTxnAborted(TxnId txn) {
+  aborted_.insert(txn);
+  for (WindowManager* wm : managers_) wm->PurgeAbortedRequest(txn);
   // An aborted transaction waits for nothing and serializes with nobody; it
   // merely passes data along its slots. Leave the waits that flow through
   // it (contraction) and take it out of the graph and the accessor sets so
@@ -164,12 +186,7 @@ void WindowManager::OnTxnAborted(TxnId txn) {
   graph_.RemoveRequestEdgesInto(txn);
   const std::vector<TxnId> targets = graph_.OutTargets(txn);
   graph_.Contract(txn);
-  if (auto it = member_of_.find(txn); it != member_of_.end()) {
-    for (ItemId item : it->second) {
-      StateOf(item).undrained_members.erase(txn);
-    }
-    member_of_.erase(it);
-  }
+  for (WindowManager* wm : managers_) wm->EraseMembership(txn);
   // Contracting the victim may have freed downstream ghosts.
   for (TxnId target : targets) {
     if (ghosts_.count(target) > 0 && !graph_.HasInEdges(target)) {
@@ -178,7 +195,7 @@ void WindowManager::OnTxnAborted(TxnId txn) {
   }
 }
 
-void WindowManager::OnTxnDrained(TxnId txn) {
+void ShardCoordinator::OnTxnDrained(TxnId txn) {
   // A drained transaction may still have to order *future* grantees of the
   // items it accessed: under MR1W a writer can commit and drain while the
   // readers that precede it are still running, so its grant-order cone is
@@ -192,19 +209,14 @@ void WindowManager::OnTxnDrained(TxnId txn) {
   RetireTxn(txn);
 }
 
-void WindowManager::RetireTxn(TxnId txn) {
+void ShardCoordinator::RetireTxn(TxnId txn) {
   std::vector<TxnId> worklist{txn};
   while (!worklist.empty()) {
     const TxnId current = worklist.back();
     worklist.pop_back();
     const std::vector<TxnId> targets = graph_.OutTargets(current);
     graph_.RemoveTxn(current);
-    if (auto it = member_of_.find(current); it != member_of_.end()) {
-      for (ItemId item : it->second) {
-        StateOf(item).undrained_members.erase(current);
-      }
-      member_of_.erase(it);
-    }
+    for (WindowManager* wm : managers_) wm->EraseMembership(current);
     txn_client_.erase(current);
     ghosts_.erase(current);
     // `aborted_` is kept for the whole run: an aborted transaction's
@@ -272,7 +284,7 @@ void WindowManager::DispatchWindow(ItemId item) {
     std::vector<PendingRequest> kept;
     kept.reserve(batch.size());
     for (const PendingRequest& r : batch) {
-      if (!graph_.ReachableAmong(r.txn, state.undrained_members).empty()) {
+      if (!coord_->graph_.ReachableAmong(r.txn, state.undrained_members).empty()) {
         AbortTxn(r.txn, r.client);
         ++aborts_at_dispatch_batch_;
       } else {
@@ -295,14 +307,14 @@ void WindowManager::DispatchWindow(ItemId item) {
     txns.push_back(r.txn);
     by_txn[r.txn] = &r;
   }
-  const std::vector<TxnId> order = graph_.ConsistentOrder(txns);
+  const std::vector<TxnId> order = coord_->graph_.ConsistentOrder(txns);
 
   // The batch members' waits end here. Every request edge into them —
   // including edges bridged through drained or aborted transactions —
   // becomes a permanent grant-order fact; accessor edges below cover
   // orderings that never materialized as waits.
   for (TxnId txn : order) {
-    graph_.PromoteRequestEdgesInto(txn);
+    coord_->graph_.PromoteRequestEdgesInto(txn);
     outstanding_request_.erase(txn);
   }
   for (TxnId txn : order) AddAccessorOrderEdges(item, txn);
@@ -318,7 +330,7 @@ void WindowManager::DispatchWindow(ItemId item) {
   for (int32_t e = 0; e + 1 < fl->num_entries(); ++e) {
     for (const FlMember& a : fl->entry(e).members) {
       for (const FlMember& b : fl->entry(e + 1).members) {
-        graph_.AddEdge(a.txn, b.txn, kStructuralEdge);
+        coord_->graph_.AddEdge(a.txn, b.txn, kStructuralEdge);
       }
     }
   }
@@ -331,17 +343,17 @@ void WindowManager::DispatchWindow(ItemId item) {
     const FlEntry& last = fl->entry(fl->num_entries() - 1);
     std::vector<TxnId> doomed;
     for (const PendingRequest& p : state.pending) {
-      if (!graph_.ReachableAmong(p.txn, batch_set).empty()) {
+      if (!coord_->graph_.ReachableAmong(p.txn, batch_set).empty()) {
         doomed.push_back(p.txn);
         continue;
       }
       for (const FlMember& m : last.members) {
-        graph_.AddEdge(m.txn, p.txn, kRequestEdge);
+        coord_->graph_.AddEdge(m.txn, p.txn, kRequestEdge);
       }
     }
     for (TxnId txn : doomed) {
-      auto it = txn_client_.find(txn);
-      GTPL_CHECK(it != txn_client_.end());
+      auto it = coord_->txn_client_.find(txn);
+      GTPL_CHECK(it != coord_->txn_client_.end());
       AbortTxn(txn, it->second);  // also purges it from state.pending
       ++aborts_at_dispatch_pending_;
     }
@@ -373,9 +385,9 @@ void WindowManager::AddAccessorOrderEdges(ItemId item, TxnId grantee,
   }
   for (TxnId accessor : state.undrained_members) {
     if (accessor == grantee) continue;
-    if (aborted_.count(accessor) > 0) continue;  // not in any serialization
+    if (coord_->aborted_.count(accessor) > 0) continue;  // not serialized
     if (skip_current_window && current.count(accessor) > 0) continue;
-    graph_.AddEdge(accessor, grantee, kStructuralEdge);
+    coord_->graph_.AddEdge(accessor, grantee, kStructuralEdge);
   }
 }
 
@@ -389,7 +401,7 @@ bool WindowManager::ReachesOlderAccessor(ItemId item, TxnId txn) {
   for (TxnId accessor : state.undrained_members) {
     if (current.count(accessor) == 0) older.insert(accessor);
   }
-  return !graph_.ReachableAmong(txn, older).empty();
+  return !coord_->graph_.ReachableAmong(txn, older).empty();
 }
 
 void WindowManager::RecomputePendingWriteFlag(ItemState& state) {

@@ -45,14 +45,73 @@ struct G2plOptions {
   int32_t aging_threshold = std::numeric_limits<int32_t>::max();
 };
 
-/// The data server's per-item window state machine plus the global
-/// transaction precedence graph — the core of the g-2PL protocol.
+class WindowManager;
+
+/// Transaction-lifecycle state shared by every WindowManager of one server
+/// group: the global precedence graph plus the abort/ghost/retirement
+/// bookkeeping that must span shards.
+///
+/// A single-server WindowManager owns a private coordinator; a sharded
+/// engine constructs one coordinator and hands it to every shard's manager.
+/// Because deadlock avoidance and forward-list reordering always consult
+/// this shared graph, the same-pair-same-order property of §3.3 holds
+/// *across* shards, not just per item: two transactions granted on
+/// different servers can never be serialized in opposite orders.
+///
+/// The coordinator models the servers' shared coordination plane as
+/// instantaneous (decisions cost no simulated time, like the paper's
+/// zero-cost server reordering); the data/commit path is what pays WAN
+/// latency. DESIGN.md §8 states this determinism contract.
+class ShardCoordinator {
+ public:
+  ShardCoordinator() = default;
+
+  ShardCoordinator(const ShardCoordinator&) = delete;
+  ShardCoordinator& operator=(const ShardCoordinator&) = delete;
+
+  /// `txn` aborted (decided on any shard): purge its pending request and
+  /// memberships from every registered shard and contract it out of the
+  /// shared graph. Idempotent.
+  void OnTxnAborted(TxnId txn);
+
+  /// `txn` is fully drained: finished *and* every forward-list slot it
+  /// occupied on every shard has been forwarded. Retires it from the graph
+  /// and all accessor sets once no edges point into it; until then it
+  /// lingers as a "ghost" so that future grants are still ordered after it
+  /// (under MR1W a writer can drain while its read-group predecessors run).
+  void OnTxnDrained(TxnId txn);
+
+  const PrecedenceGraph& graph() const { return graph_; }
+  bool IsAborted(TxnId txn) const { return aborted_.count(txn) > 0; }
+
+ private:
+  friend class WindowManager;
+
+  void Register(WindowManager* wm) { managers_.push_back(wm); }
+
+  /// Removes a node from graph/accessor sets and cascades to ghosts whose
+  /// last in-edge it held, across every registered shard.
+  void RetireTxn(TxnId txn);
+
+  PrecedenceGraph graph_;
+  std::vector<WindowManager*> managers_;
+  // txn -> client site (for abort routing); erased at drain.
+  std::unordered_map<TxnId, SiteId> txn_client_;
+  std::unordered_set<TxnId> aborted_;
+  // Drained but not yet retired (something still points into them).
+  std::unordered_set<TxnId> ghosts_;
+};
+
+/// The data server's per-item window state machine — the core of the g-2PL
+/// protocol. The precedence graph and cross-cutting transaction lifecycle
+/// live in a ShardCoordinator, private to this manager in the single-server
+/// configuration and shared between managers in the sharded one.
 ///
 /// The manager is transport-agnostic: it makes protocol decisions and emits
-/// them through callbacks; the protocol layer (protocols/g2pl.cc) turns them
-/// into network messages. Simulated decision cost is zero, following the
-/// paper: reordering happens while the server waits for items to return, so
-/// it adds no blocking time.
+/// them through callbacks; the protocol layer (protocols/g2pl.cc and
+/// protocols/sharded.cc) turns them into network messages. Simulated
+/// decision cost is zero, following the paper: reordering happens while the
+/// server waits for items to return, so it adds no blocking time.
 class WindowManager {
  public:
   struct Callbacks {
@@ -75,8 +134,11 @@ class WindowManager {
     std::function<bool(TxnId txn)> can_abort;
   };
 
+  /// `coordinator` may be null (the manager then owns a private one) or
+  /// shared with other managers of a sharded server group.
   WindowManager(int32_t num_items, const G2plOptions& options,
-                db::DataStore* store, Callbacks callbacks);
+                db::DataStore* store, Callbacks callbacks,
+                ShardCoordinator* coordinator = nullptr);
 
   WindowManager(const WindowManager&) = delete;
   WindowManager& operator=(const WindowManager&) = delete;
@@ -93,14 +155,13 @@ class WindowManager {
   void OnReturn(ItemId item, Version version);
 
   /// `txn` aborted (decided here or elsewhere): purge its pending requests
-  /// and dissolve its request/structural wait edges. Idempotent.
+  /// and dissolve its request/structural wait edges. Idempotent. Delegates
+  /// to the coordinator, which cleans every shard of the group.
   void OnTxnAborted(TxnId txn);
 
   /// `txn` is fully drained: finished *and* every forward-list slot it
-  /// occupied has been forwarded. Retires it from the precedence graph and
-  /// the accessor sets once no edges point into it; until then it lingers
-  /// as a "ghost" so that future grants are still ordered after it (under
-  /// MR1W a writer can drain while its read-group predecessors run).
+  /// occupied has been forwarded. Delegates to the coordinator (see
+  /// ShardCoordinator::OnTxnDrained).
   void OnTxnDrained(TxnId txn);
 
   /// Counters for metrics and tests.
@@ -119,11 +180,14 @@ class WindowManager {
   /// Mean forward-list length over dispatched windows.
   double MeanForwardListLength() const;
 
-  const PrecedenceGraph& graph() const { return graph_; }
+  const PrecedenceGraph& graph() const { return coord_->graph_; }
+  const ShardCoordinator& coordinator() const { return *coord_; }
   bool ItemAtServer(ItemId item) const;
   int32_t PendingCount(ItemId item) const;
 
  private:
+  friend class ShardCoordinator;
+
   struct ItemState {
     bool at_server = true;
     std::shared_ptr<const ForwardList> fl;  // current out window (or null)
@@ -155,9 +219,12 @@ class WindowManager {
 
   void AbortTxn(TxnId txn, SiteId client);
 
-  /// Removes a node from graph/accessor sets and cascades to ghosts whose
-  /// last in-edge it held.
-  void RetireTxn(TxnId txn);
+  /// Coordinator hook: removes `txn`'s single pending (queued) request, if
+  /// this shard holds it.
+  void PurgeAbortedRequest(TxnId txn);
+
+  /// Coordinator hook: erases `txn` from this shard's accessor sets.
+  void EraseMembership(TxnId txn);
 
   /// Adds structural grant-order edges from every undrained (non-aborted)
   /// past accessor of `item` to `grantee`. With `skip_current_window`, the
@@ -178,16 +245,12 @@ class WindowManager {
   db::DataStore* store_;
   Callbacks callbacks_;
   std::vector<ItemState> items_;
-  PrecedenceGraph graph_;
+  std::unique_ptr<ShardCoordinator> owned_coord_;  // null when shared
+  ShardCoordinator* coord_;
   // txn -> items whose current window lists it as (undrained) member.
   std::unordered_map<TxnId, std::vector<ItemId>> member_of_;
-  // txn -> client site (for abort routing); erased at drain.
-  std::unordered_map<TxnId, SiteId> txn_client_;
   // txn -> item of its single outstanding (pending) request, if any.
   std::unordered_map<TxnId, ItemId> outstanding_request_;
-  std::unordered_set<TxnId> aborted_;
-  // Drained but not yet retired (something still points into them).
-  std::unordered_set<TxnId> ghosts_;
   int64_t arrival_counter_ = 0;
   int64_t windows_dispatched_ = 0;
   int64_t total_dispatched_requests_ = 0;

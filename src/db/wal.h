@@ -15,6 +15,7 @@ enum class LogRecordKind : uint8_t {
   kCommit = 1,
   kAbort = 2,
   kInstall = 3,  // server made a version permanent
+  kPrepare = 4,  // cross-server 2PC: coordinator/participant prepared
 };
 
 /// One WAL record. Contents are not modeled; versions identify updates.

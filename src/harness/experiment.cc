@@ -39,6 +39,9 @@ PointResult AggregateReplications(const std::vector<ReplicaRun>& runs) {
   double messages = 0.0;
   double payload = 0.0;
   double expansions = 0.0;
+  double cross_pct = 0.0;
+  double participants = 0.0;
+  int64_t cross_runs = 0;
   for (const ReplicaRun& run : runs) {
     const proto::RunResult& result = run.result;
     responses.push_back(result.response.mean());
@@ -56,6 +59,12 @@ PointResult AggregateReplications(const std::vector<ReplicaRun>& runs) {
                  static_cast<double>(result.commits);
       expansions += static_cast<double>(result.read_group_expansions) /
                     static_cast<double>(result.commits);
+      cross_pct += 100.0 * static_cast<double>(result.cross_server_commits) /
+                   static_cast<double>(result.commits);
+    }
+    if (result.commit_participants.count() > 0) {
+      participants += result.commit_participants.mean();
+      ++cross_runs;
     }
   }
   const auto runs_count = static_cast<double>(runs.size());
@@ -66,6 +75,9 @@ PointResult AggregateReplications(const std::vector<ReplicaRun>& runs) {
   out.mean_messages_per_commit = messages / runs_count;
   out.mean_payload_per_commit = payload / runs_count;
   out.expansions_per_commit = expansions / runs_count;
+  out.cross_server_pct = cross_pct / runs_count;
+  out.mean_commit_participants =
+      cross_runs > 0 ? participants / static_cast<double>(cross_runs) : 0.0;
   return out;
 }
 

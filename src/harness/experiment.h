@@ -23,6 +23,10 @@ struct PointResult {
   double mean_messages_per_commit = 0.0;
   double mean_payload_per_commit = 0.0;  // abstract units (net::k*Payload)
   double expansions_per_commit = 0.0;  // g-2PL read-group expansions
+  /// Sharded runs: % of measured commits that ran cross-server 2PC, and the
+  /// mean number of participant servers per such commit (0 when unsharded).
+  double cross_server_pct = 0.0;
+  double mean_commit_participants = 0.0;
   int64_t total_commits = 0;
   int64_t total_aborts = 0;
   bool any_timed_out = false;

@@ -18,9 +18,13 @@ EngineBase::EngineBase(const SimConfig& config) : config_(config) {
   } else {
     // Heterogeneous sites: per-endpoint distance offsets plus optional
     // per-message jitter (extension beyond the paper's uniform model).
-    const size_t sites = static_cast<size_t>(config.num_clients) + 1;
+    // Site layout: 0 = server, 1..num_clients = clients, then one extra
+    // site per additional shard server (co-located with server 0, offset 0).
+    const size_t client_sites = static_cast<size_t>(config.num_clients) + 1;
+    const size_t sites =
+        client_sites + static_cast<size_t>(config.num_servers - 1);
     std::vector<SimTime> offset(sites, 0);
-    for (size_t site = 1; site < sites; ++site) {
+    for (size_t site = 1; site < client_sites; ++site) {
       const double position =
           config.num_clients == 1
               ? 0.0
@@ -255,7 +259,14 @@ void EngineBase::MaybeGcClientLogs() {
   }
 }
 
-void EngineBase::ServerAbortDecision(TxnId txn, SiteId client_site) {
+void EngineBase::RecordEvent(ProtocolEvent event) {
+  if (!config_.record_protocol_events) return;
+  event.time = sim_.Now();
+  result_.protocol_events.push_back(std::move(event));
+}
+
+void EngineBase::ServerAbortDecision(TxnId txn, SiteId client_site,
+                                     SiteId server_site) {
   TxnRun* run = FindRun(txn);
   if (run == nullptr || run->finished || run->doomed) return;
   run->doomed = true;
@@ -271,7 +282,7 @@ void EngineBase::ServerAbortDecision(TxnId txn, SiteId client_site) {
   if (config_.instant_abort_notice) {
     sim_.Schedule(0, [this, txn, index] { AbortNoticeArrived(txn, index); });
   } else {
-    network_->Send(kServerSite, client_site, "abort",
+    network_->Send(server_site, client_site, "abort",
                    [this, txn, index] { AbortNoticeArrived(txn, index); });
   }
 }

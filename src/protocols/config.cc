@@ -18,9 +18,30 @@ const char* ToString(Protocol protocol) {
   return "unknown";
 }
 
+const char* ToString(ShardRouting routing) {
+  switch (routing) {
+    case ShardRouting::kHash:
+      return "hash";
+    case ShardRouting::kRange:
+      return "range";
+  }
+  return "unknown";
+}
+
 Status SimConfig::Validate() const {
   if (num_clients < 1) {
     return Status::InvalidArgument("num_clients must be >= 1");
+  }
+  if (num_servers < 1) {
+    return Status::InvalidArgument("num_servers must be >= 1");
+  }
+  if (num_servers > workload.num_items) {
+    return Status::InvalidArgument("num_servers must be <= num_items");
+  }
+  if (num_servers > 1 && protocol != Protocol::kS2pl &&
+      protocol != Protocol::kG2pl) {
+    return Status::InvalidArgument(
+        "sharding supports only s-2PL and g-2PL");
   }
   if (latency < 0) return Status::InvalidArgument("latency must be >= 0");
   if (latency_jitter < 0) {

@@ -22,6 +22,15 @@ enum class Protocol {
 
 const char* ToString(Protocol protocol);
 
+/// How a sharded server group partitions the item space (extension; the
+/// paper's model is a single server owning every item).
+enum class ShardRouting {
+  kHash = 0,   // item % num_servers
+  kRange = 1,  // contiguous ranges of ceil(num_items / num_servers) items
+};
+
+const char* ToString(ShardRouting routing);
+
 /// s-2PL deadlock-resolution options.
 struct S2plOptions {
   enum class Victim {
@@ -38,6 +47,15 @@ struct SimConfig {
   Protocol protocol = Protocol::kS2pl;
   int32_t num_clients = 50;
   SimTime latency = 500;
+
+  /// Number of data servers the item space is sharded across (extension).
+  /// 1 reproduces the paper's single-server model and runs the original
+  /// engines; N > 1 runs the sharded engines with client-coordinated
+  /// two-phase commit across the servers a transaction touched. Server 0
+  /// keeps site id kServerSite (0); extra server k >= 1 gets site id
+  /// num_clients + k.
+  int32_t num_servers = 1;
+  ShardRouting shard_routing = ShardRouting::kHash;
 
   /// Extensions beyond the paper's uniform-latency assumption ("the network
   /// latency between any two sites ... is the same"). `latency_jitter` adds
@@ -62,6 +80,11 @@ struct SimConfig {
   bool record_history = false;
   /// Record per-message network trace (examples only).
   bool trace = false;
+  /// Record the protocol-invariant event stream (window dispatches, reader
+  /// release arrivals, writer update releases, graph audits, 2PC rounds)
+  /// consumed by the checkers in protocols/invariants.h (tests only; costs
+  /// memory, never changes protocol behavior).
+  bool record_protocol_events = false;
 
   /// Simulated delay of a log force at commit/install; 0 keeps the recovery
   /// substrate free so it does not perturb the reproduced numbers.

@@ -6,12 +6,19 @@
 #include "protocols/caching.h"
 #include "protocols/g2pl.h"
 #include "protocols/s2pl.h"
+#include "protocols/sharded.h"
 
 namespace gtpl::proto {
 
 RunResult RunSimulation(const SimConfig& config) {
   GTPL_CHECK(config.Validate().ok()) << config.Validate().ToString();
   std::unique_ptr<EngineBase> engine;
+  if (config.num_servers > 1) {
+    // Sharded server group; num_servers == 1 keeps the original engines
+    // (the sharded ones reproduce them bit for bit — equivalence suite).
+    engine = MakeShardedEngine(config);
+    return engine->Run();
+  }
   switch (config.protocol) {
     case Protocol::kS2pl:
       engine = std::make_unique<S2plEngine>(config);

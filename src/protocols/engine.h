@@ -87,7 +87,13 @@ class EngineBase {
   /// The server decided to abort `txn`: dooms it instantly (it can no longer
   /// commit) and delivers the abort notice to its client after one network
   /// latency. Safe to call for transactions that already finished.
-  void ServerAbortDecision(TxnId txn, SiteId client_site);
+  /// `server_site` is the deciding server (a shard's site in sharded runs).
+  void ServerAbortDecision(TxnId txn, SiteId client_site,
+                           SiteId server_site = kServerSite);
+
+  /// Appends `event` (stamped with the current simulated time) to the run's
+  /// protocol-event stream; no-op unless record_protocol_events is set.
+  void RecordEvent(ProtocolEvent event);
 
   /// Data/grant for the current operation of `run` arrived: think, record
   /// the access, then issue the next request or commit.

@@ -49,6 +49,18 @@ void G2plEngine::SendRequest(TxnRun& run) {
 
 void G2plEngine::WmDispatch(ItemId item, Version version,
                             std::shared_ptr<const core::ForwardList> fl) {
+  if (config().record_protocol_events) {
+    ProtocolEvent event;
+    event.kind = ProtocolEventKind::kWindowDispatched;
+    event.item = item;
+    event.entries = SnapshotForwardList(*fl);
+    RecordEvent(std::move(event));
+    ProtocolEvent audit;
+    audit.kind = ProtocolEventKind::kGraphCheck;
+    audit.item = item;
+    audit.flag = wm_->graph().IsAcyclic();
+    RecordEvent(std::move(audit));
+  }
   for (int32_t e = 0; e < fl->num_entries(); ++e) {
     for (const core::FlMember& m : fl->entry(e).members) {
       TxnState& ts = EnsureTxn(m.txn, m.client - 1);
@@ -67,6 +79,19 @@ void G2plEngine::WmExpand(ItemId item, Version version,
                           std::shared_ptr<const core::ForwardList> fl,
                           TxnId txn, SiteId client_site,
                           int32_t member_index) {
+  if (config().record_protocol_events) {
+    ProtocolEvent event;
+    event.kind = ProtocolEventKind::kWindowExpanded;
+    event.txn = txn;
+    event.item = item;
+    event.entries = SnapshotForwardList(*fl);
+    RecordEvent(std::move(event));
+    ProtocolEvent audit;
+    audit.kind = ProtocolEventKind::kGraphCheck;
+    audit.item = item;
+    audit.flag = wm_->graph().IsAcyclic();
+    RecordEvent(std::move(audit));
+  }
   TxnState& ts = EnsureTxn(txn, client_site - 1);
   ++ts.slots_outstanding;
   ts.slot_items.push_back(item);
@@ -155,6 +180,13 @@ void G2plEngine::OnReaderRelease(TxnId writer_txn, ItemId item,
                                  std::shared_ptr<const core::ForwardList> fl,
                                  int32_t writer_entry_index) {
   if (drained_.count(writer_txn) > 0) return;  // waived wait; already gone
+  if (config().record_protocol_events) {
+    ProtocolEvent event;
+    event.kind = ProtocolEventKind::kReaderReleaseArrived;
+    event.txn = writer_txn;
+    event.item = item;
+    RecordEvent(std::move(event));
+  }
   Obligation& ob = obligations_[ObKey{writer_txn, item}];
   if (ob.fl == nullptr) {
     // Basic mode (MR1W off): the first reader release carries the data.
@@ -207,6 +239,13 @@ void G2plEngine::TryForward(TxnId txn, ItemId item) {
   // releases arrive (MR1W rule); an aborted transaction waits for nothing.
   if (ts.committed && ob.releases_received < ob.releases_needed) return;
   ob.forwarded = true;
+  if (ts.committed && ob.is_writer && config().record_protocol_events) {
+    ProtocolEvent event;
+    event.kind = ProtocolEventKind::kWriterUpdateReleased;
+    event.txn = txn;
+    event.item = item;
+    RecordEvent(std::move(event));
+  }
   const Version version_out =
       ts.committed && ob.is_writer ? ob.version + 1 : ob.version;
   const SiteId from = ts.client_index + 1;

@@ -1,0 +1,90 @@
+#ifndef GTPL_PROTOCOLS_INVARIANTS_H_
+#define GTPL_PROTOCOLS_INVARIANTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gtpl::core {
+class ForwardList;
+}
+
+namespace gtpl::proto {
+
+/// Kind of a recorded protocol event (see ProtocolEvent).
+enum class ProtocolEventKind : uint8_t {
+  /// A server dispatched a window; `entries` snapshots its forward list.
+  kWindowDispatched = 0,
+  /// Read-group expansion admitted a member; `entries` snapshots the
+  /// re-published forward list (expanded member included), `txn` the
+  /// admitted transaction.
+  kWindowExpanded = 1,
+  /// A reader's release message reached the writer client that follows its
+  /// read group; `txn` is the *writer*, `item` the migrating item.
+  kReaderReleaseArrived = 2,
+  /// A committed writer forwarded (released) its update downstream or back
+  /// to the server.
+  kWriterUpdateReleased = 3,
+  /// Acyclicity audit of the (global) precedence graph; `flag` = acyclic.
+  kGraphCheck = 4,
+  /// Cross-server commit: prepare message reached participant `server`.
+  kPrepareArrived = 5,
+  /// Cross-server commit: participant `server`'s vote reached the client
+  /// coordinator; `flag` = yes-vote.
+  kVoteArrived = 6,
+  /// Cross-server commit: commit decision reached participant `server`.
+  kCommitDecisionArrived = 7,
+};
+
+/// One forward-list entry as recorded in a window event.
+struct FlEntryRecord {
+  bool is_read_group = false;
+  std::vector<TxnId> txns;
+};
+
+/// One entry of the protocol-invariant event stream that engines emit when
+/// SimConfig::record_protocol_events is set. The stream is what the
+/// invariant checkers below consume; it deliberately records protocol
+/// *facts* (dispatch orders, release arrivals, graph audits) rather than
+/// engine internals, so the same checkers apply to the single-server and
+/// sharded engines.
+struct ProtocolEvent {
+  ProtocolEventKind kind = ProtocolEventKind::kWindowDispatched;
+  SimTime time = 0;
+  TxnId txn = kInvalidTxn;
+  ItemId item = kInvalidItem;
+  int32_t server = 0;  // shard index (0 in single-server runs)
+  bool flag = false;   // kGraphCheck: acyclic; kVoteArrived: yes
+  std::vector<FlEntryRecord> entries;  // window events only
+};
+
+/// Entry/member snapshot of a forward list, for window events.
+std::vector<FlEntryRecord> SnapshotForwardList(const core::ForwardList& fl);
+
+/// Every kGraphCheck event in the stream reported an acyclic graph.
+bool CheckAcyclicity(const std::vector<ProtocolEvent>& events,
+                     std::string* explanation = nullptr);
+
+/// Same-pair-same-order (paper §3.3, global across shards): no two
+/// transactions appear in opposite orders in two forward lists they share.
+/// Co-membership in a read group orders neither way and is compatible with
+/// any order elsewhere.
+bool CheckForwardListOrderConsistency(
+    const std::vector<ProtocolEvent>& events,
+    std::string* explanation = nullptr);
+
+/// MR1W release discipline (paper §3.4): a committed writer never releases
+/// its update before the release messages of *all* readers of the preceding
+/// read group have arrived at it.
+bool CheckMr1wDiscipline(const std::vector<ProtocolEvent>& events,
+                         std::string* explanation = nullptr);
+
+/// All of the above.
+bool CheckProtocolInvariants(const std::vector<ProtocolEvent>& events,
+                             std::string* explanation = nullptr);
+
+}  // namespace gtpl::proto
+
+#endif  // GTPL_PROTOCOLS_INVARIANTS_H_

@@ -7,6 +7,7 @@
 
 #include "common/types.h"
 #include "net/network.h"
+#include "protocols/invariants.h"
 #include "stats/welford.h"
 
 namespace gtpl::proto {
@@ -57,6 +58,13 @@ struct RunResult {
   double mean_forward_list_length = 0.0;
   int64_t read_group_expansions = 0;
 
+  // Sharding specifics (0 / empty unless num_servers > 1). A commit is
+  // cross-server when the transaction touched items on more than one
+  // server and therefore ran the two-phase commit path.
+  int64_t cross_server_commits = 0;  // measured phase
+  /// Participant servers per cross-server commit (measured phase).
+  stats::Welford commit_participants;
+
   // Recovery substrate counters. `wal_retained` is the number of log
   // records still held at end of run; garbage collection (triggered when
   // updates become permanent at the server) keeps it far below appends.
@@ -69,6 +77,10 @@ struct RunResult {
 
   /// Per-message network trace (only when trace was set).
   std::vector<net::TraceRecord> trace;
+
+  /// Protocol-invariant event stream (only when record_protocol_events was
+  /// set); consumed by the checkers in protocols/invariants.h.
+  std::vector<ProtocolEvent> protocol_events;
 
   /// Aborted / (aborted + committed) in the measured phase, in percent —
   /// the quantity plotted in the paper's Figures 8-15.

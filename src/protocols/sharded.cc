@@ -1,0 +1,684 @@
+#include "protocols/sharded.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace gtpl::proto {
+
+// ---------------------------------------------------------------------------
+// ShardedEngineBase: routing + client-coordinated two-phase commit
+// ---------------------------------------------------------------------------
+
+ShardedEngineBase::ShardedEngineBase(const SimConfig& config)
+    : EngineBase(config) {
+  items_per_shard_ =
+      (config.workload.num_items + config.num_servers - 1) /
+      config.num_servers;
+}
+
+int32_t ShardedEngineBase::ShardOf(ItemId item) const {
+  if (config().shard_routing == ShardRouting::kRange) {
+    return std::min(item / items_per_shard_, num_servers() - 1);
+  }
+  return item % num_servers();
+}
+
+std::vector<int32_t> ShardedEngineBase::ParticipantsOf(
+    const TxnRun& run) const {
+  std::vector<int32_t> shards;
+  for (const workload::Operation& op : run.spec.ops) {
+    shards.push_back(ShardOf(op.item));
+  }
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  return shards;
+}
+
+void ShardedEngineBase::StartCommit(TxnRun& run) {
+  std::vector<int32_t> participants = ParticipantsOf(run);
+  if (participants.size() <= 1) {
+    // Single-shard transaction: the ordinary commit path, bit-identical to
+    // the single-server engines (and the only path when num_servers == 1).
+    EngineBase::StartCommit(run);
+    return;
+  }
+  GTPL_CHECK(!run.finished);
+  GTPL_CHECK(!run.doomed);
+  const TxnId txn = run.id;
+  ClientState& client = ClientAt(run.client_index);
+  // Phase one: the coordinator (client) forces its prepare record, then
+  // asks every participant server to vote.
+  const int64_t lsn = client.wal->Append(db::LogRecordKind::kPrepare, txn,
+                                         kInvalidItem, 0);
+  const SimTime force_delay = client.wal->Force(lsn);
+  CommitCtx ctx;
+  ctx.votes_pending = static_cast<int32_t>(participants.size());
+  ctx.participants = participants;
+  commits_[txn] = std::move(ctx);
+  const SiteId from = run.site();
+  auto send_prepares = [this, txn, from,
+                        participants = std::move(participants)] {
+    TxnRun* current = FindRun(txn);
+    if (current == nullptr || current->finished || current->doomed) {
+      commits_.erase(txn);
+      return;
+    }
+    for (int32_t shard : participants) {
+      network().Send(from, ServerSiteOf(shard), "prepare",
+                     [this, shard, txn] { OnPrepareArrived(shard, txn); });
+    }
+  };
+  if (force_delay > 0) {
+    simulator().Schedule(force_delay, std::move(send_prepares));
+  } else {
+    send_prepares();
+  }
+}
+
+void ShardedEngineBase::OnPrepareArrived(int32_t shard, TxnId txn) {
+  if (config().record_protocol_events) {
+    ProtocolEvent event;
+    event.kind = ProtocolEventKind::kPrepareArrived;
+    event.txn = txn;
+    event.server = shard;
+    RecordEvent(std::move(event));
+  }
+  const bool yes = ShardVote(shard, txn);
+  // The participant forces its own prepare record before voting yes.
+  if (yes) {
+    const int64_t lsn = server_wal().Append(db::LogRecordKind::kPrepare, txn,
+                                            kInvalidItem, 0);
+    server_wal().Force(lsn);
+  }
+  TxnRun* run = FindRun(txn);
+  if (run == nullptr) return;  // coordinator already moved on; drop the vote
+  network().Send(ServerSiteOf(shard), run->site(), "vote",
+                 [this, txn, shard, yes] { OnVoteArrived(txn, shard, yes); });
+}
+
+void ShardedEngineBase::OnVoteArrived(TxnId txn, int32_t shard, bool yes) {
+  if (config().record_protocol_events) {
+    ProtocolEvent event;
+    event.kind = ProtocolEventKind::kVoteArrived;
+    event.txn = txn;
+    event.server = shard;
+    event.flag = yes;
+    RecordEvent(std::move(event));
+  }
+  auto it = commits_.find(txn);
+  if (it == commits_.end()) return;
+  CommitCtx& ctx = it->second;
+  ctx.all_yes = ctx.all_yes && yes;
+  if (--ctx.votes_pending > 0) return;
+  const bool all_yes = ctx.all_yes;
+  const std::vector<int32_t> participants = std::move(ctx.participants);
+  commits_.erase(it);
+  TxnRun* run = FindRun(txn);
+  if (run == nullptr || run->finished || run->doomed) return;
+  if (!all_yes) {
+    // A no vote means that shard's server had already aborted the
+    // transaction, and its abort decision doomed the run instantly — so
+    // this branch is unreachable in practice; kept as a safety net.
+    return;
+  }
+  if (measuring()) {
+    ++cross_server_commits_;
+    commit_participants_.Add(static_cast<double>(participants.size()));
+  }
+  // Phase two: the decision travels to every participant; the local commit
+  // (forced commit record, then the protocol's release messages) proceeds
+  // in parallel. Response time thus pays prepare + vote: two WAN rounds.
+  const SiteId from = run->site();
+  for (int32_t participant : participants) {
+    network().Send(
+        from, ServerSiteOf(participant), "commit-decision",
+        [this, participant, txn] { OnDecisionArrived(participant, txn); });
+  }
+  EngineBase::StartCommit(*run);
+}
+
+void ShardedEngineBase::OnDecisionArrived(int32_t shard, TxnId txn) {
+  if (config().record_protocol_events) {
+    ProtocolEvent event;
+    event.kind = ProtocolEventKind::kCommitDecisionArrived;
+    event.txn = txn;
+    event.server = shard;
+    RecordEvent(std::move(event));
+  }
+  server_wal().Append(db::LogRecordKind::kCommit, txn, kInvalidItem, 0);
+  OnCommitDecision(shard, txn);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedG2plEngine
+// ---------------------------------------------------------------------------
+// The client-side machinery below mirrors G2plEngine (g2pl.cc) operation for
+// operation; only the server endpoints differ (per-item shard sites instead
+// of the single kServerSite). Keeping the operation sequences identical is
+// what makes the num_servers == 1 configuration bit-identical to the
+// single-server engine — the equivalence suite enforces this.
+
+ShardedG2plEngine::ShardedG2plEngine(const SimConfig& config)
+    : ShardedEngineBase(config) {
+  coordinator_ = std::make_unique<core::ShardCoordinator>();
+  wms_.reserve(static_cast<size_t>(config.num_servers));
+  for (int32_t shard = 0; shard < config.num_servers; ++shard) {
+    core::WindowManager::Callbacks callbacks;
+    callbacks.dispatch = [this, shard](
+                             ItemId item, Version version,
+                             std::shared_ptr<const core::ForwardList> fl) {
+      WmDispatch(shard, item, version, std::move(fl));
+    };
+    callbacks.abort = [this, shard](TxnId txn, SiteId client_site) {
+      WmAbort(shard, txn, client_site);
+    };
+    callbacks.expand = [this, shard](
+                           ItemId item, Version version,
+                           std::shared_ptr<const core::ForwardList> fl,
+                           TxnId txn, SiteId client_site,
+                           int32_t member_index) {
+      WmExpand(shard, item, version, std::move(fl), txn, client_site,
+               member_index);
+    };
+    callbacks.can_abort = [this](TxnId txn) {
+      TxnRun* run = FindRun(txn);
+      return run != nullptr && !run->finished && !run->doomed;
+    };
+    wms_.push_back(std::make_unique<core::WindowManager>(
+        config.workload.num_items, config.g2pl, &store(),
+        std::move(callbacks), coordinator_.get()));
+  }
+}
+
+ShardedG2plEngine::TxnState& ShardedG2plEngine::EnsureTxn(
+    TxnId txn, int32_t client_index) {
+  auto [it, inserted] = txns_.try_emplace(txn);
+  if (inserted) it->second.client_index = client_index;
+  return it->second;
+}
+
+void ShardedG2plEngine::SendRequest(TxnRun& run) {
+  const TxnId txn = run.id;
+  const SiteId site = run.site();
+  const workload::Operation op = run.op();
+  const int32_t restarts = ClientAt(run.client_index).restart_streak;
+  EnsureTxn(txn, run.client_index);
+  const int32_t shard = ShardOf(op.item);
+  network().Send(site, ServerSiteOf(shard), "lock-request",
+                 [this, shard, txn, site, op, restarts] {
+                   wms_[static_cast<size_t>(shard)]->OnRequest(
+                       txn, site, op.item, op.mode, restarts);
+                 });
+}
+
+void ShardedG2plEngine::WmDispatch(
+    int32_t shard, ItemId item, Version version,
+    std::shared_ptr<const core::ForwardList> fl) {
+  if (config().record_protocol_events) {
+    ProtocolEvent event;
+    event.kind = ProtocolEventKind::kWindowDispatched;
+    event.item = item;
+    event.server = shard;
+    event.entries = SnapshotForwardList(*fl);
+    RecordEvent(std::move(event));
+    ProtocolEvent audit;
+    audit.kind = ProtocolEventKind::kGraphCheck;
+    audit.item = item;
+    audit.server = shard;
+    audit.flag = coordinator_->graph().IsAcyclic();
+    RecordEvent(std::move(audit));
+  }
+  for (int32_t e = 0; e < fl->num_entries(); ++e) {
+    for (const core::FlMember& m : fl->entry(e).members) {
+      TxnState& ts = EnsureTxn(m.txn, m.client - 1);
+      ++ts.slots_outstanding;
+      ts.slot_items.push_back(item);
+    }
+  }
+  DeliverToEntry(ServerSiteOf(shard), item, version, std::move(fl), 0);
+}
+
+void ShardedG2plEngine::WmAbort(int32_t shard, TxnId txn,
+                                SiteId client_site) {
+  ServerAbortDecision(txn, client_site, ServerSiteOf(shard));
+}
+
+void ShardedG2plEngine::WmExpand(int32_t shard, ItemId item, Version version,
+                                 std::shared_ptr<const core::ForwardList> fl,
+                                 TxnId txn, SiteId client_site,
+                                 int32_t member_index) {
+  if (config().record_protocol_events) {
+    ProtocolEvent event;
+    event.kind = ProtocolEventKind::kWindowExpanded;
+    event.txn = txn;
+    event.item = item;
+    event.server = shard;
+    event.entries = SnapshotForwardList(*fl);
+    RecordEvent(std::move(event));
+    ProtocolEvent audit;
+    audit.kind = ProtocolEventKind::kGraphCheck;
+    audit.item = item;
+    audit.server = shard;
+    audit.flag = coordinator_->graph().IsAcyclic();
+    RecordEvent(std::move(audit));
+  }
+  TxnState& ts = EnsureTxn(txn, client_site - 1);
+  ++ts.slots_outstanding;
+  ts.slot_items.push_back(item);
+  network().Send(ServerSiteOf(shard), client_site, "data(expand)",
+                 [this, txn, item, version, fl = std::move(fl),
+                  member_index] {
+                   OnData(txn, item, version, fl, 0, member_index, 0);
+                 });
+}
+
+void ShardedG2plEngine::DeliverToEntry(
+    SiteId from_site, ItemId item, Version version,
+    std::shared_ptr<const core::ForwardList> fl, int32_t entry_index) {
+  const uint64_t payload =
+      net::kDataPayload +
+      net::kFlSlotPayload * static_cast<uint64_t>(fl->num_members());
+  const core::FlEntry& entry = fl->entry(entry_index);
+  if (!entry.is_read_group) {
+    const core::FlMember writer = entry.members[0];
+    network().Send(
+        from_site, writer.client, "data",
+        [this, txn = writer.txn, item, version, fl, entry_index] {
+          OnData(txn, item, version, fl, entry_index, 0, 0);
+        },
+        payload);
+    return;
+  }
+  for (int32_t j = 0; j < entry.size(); ++j) {
+    const core::FlMember reader = entry.members[static_cast<size_t>(j)];
+    network().Send(
+        from_site, reader.client, "data(copy)",
+        [this, txn = reader.txn, item, version, fl, entry_index, j] {
+          OnData(txn, item, version, fl, entry_index, j, 0);
+        },
+        payload);
+  }
+  if (config().g2pl.mr1w && entry_index + 1 < fl->num_entries()) {
+    const core::FlEntry& next = fl->entry(entry_index + 1);
+    GTPL_CHECK(!next.is_read_group);
+    const core::FlMember writer = next.members[0];
+    network().Send(
+        from_site, writer.client, "data(early)",
+        [this, txn = writer.txn, item, version, fl, entry_index,
+         releases = entry.size()] {
+          OnData(txn, item, version, fl, entry_index + 1, 0, releases);
+        },
+        payload);
+  }
+}
+
+void ShardedG2plEngine::OnData(TxnId txn, ItemId item, Version version,
+                               std::shared_ptr<const core::ForwardList> fl,
+                               int32_t entry_index, int32_t member_index,
+                               int32_t early_releases) {
+  if (drained_.count(txn) > 0) return;
+  Obligation& ob = obligations_[ObKey{txn, item}];
+  if (ob.data_arrived) {
+    if (early_releases > 0) ob.releases_needed = early_releases;
+  } else {
+    ob.fl = std::move(fl);
+    ob.entry = entry_index;
+    ob.member = member_index;
+    ob.is_writer = !ob.fl->entry(entry_index).is_read_group;
+    ob.data_arrived = true;
+    ob.version = version;
+    if (early_releases > 0) ob.releases_needed = early_releases;
+  }
+  TxnState& ts = txns_.at(txn);
+  if (ts.finished) {
+    TryForward(txn, item);
+    return;
+  }
+  MaybeGrant(txn, item, ob);
+}
+
+void ShardedG2plEngine::OnReaderRelease(
+    TxnId writer_txn, ItemId item, Version version,
+    std::shared_ptr<const core::ForwardList> fl, int32_t writer_entry_index) {
+  if (drained_.count(writer_txn) > 0) return;
+  if (config().record_protocol_events) {
+    ProtocolEvent event;
+    event.kind = ProtocolEventKind::kReaderReleaseArrived;
+    event.txn = writer_txn;
+    event.item = item;
+    event.server = ShardOf(item);
+    RecordEvent(std::move(event));
+  }
+  Obligation& ob = obligations_[ObKey{writer_txn, item}];
+  if (ob.fl == nullptr) {
+    ob.fl = std::move(fl);
+    ob.entry = writer_entry_index;
+    ob.member = 0;
+    ob.is_writer = true;
+    GTPL_CHECK_GT(writer_entry_index, 0);
+    ob.releases_needed = ob.fl->entry(writer_entry_index - 1).size();
+  }
+  ++ob.releases_received;
+  GTPL_CHECK_LE(ob.releases_received, ob.releases_needed);
+  if (!ob.data_arrived) {
+    ob.data_arrived = true;
+    ob.version = version;
+  }
+  if (ob.forwarded) return;
+  TxnState& ts = txns_.at(writer_txn);
+  if (ts.finished) {
+    TryForward(writer_txn, item);
+  } else {
+    MaybeGrant(writer_txn, item, ob);
+  }
+}
+
+void ShardedG2plEngine::MaybeGrant(TxnId txn, ItemId item, Obligation& ob) {
+  if (ob.granted || !ob.data_arrived) return;
+  if (!config().g2pl.mr1w && ob.releases_received < ob.releases_needed) {
+    return;
+  }
+  TxnRun* run = FindRun(txn);
+  GTPL_CHECK(run != nullptr) << "live g-2PL txn without a run";
+  if (run->doomed) return;
+  GTPL_CHECK_EQ(run->op().item, item)
+      << "grant does not match the sequentially outstanding operation";
+  ob.granted = true;
+  OpGranted(*run, ob.version);
+}
+
+void ShardedG2plEngine::TryForward(TxnId txn, ItemId item) {
+  auto it = obligations_.find(ObKey{txn, item});
+  if (it == obligations_.end()) return;
+  Obligation& ob = it->second;
+  TxnState& ts = txns_.at(txn);
+  if (ob.forwarded || !ob.data_arrived || !ts.finished) return;
+  if (ts.committed && ob.releases_received < ob.releases_needed) return;
+  ob.forwarded = true;
+  if (ts.committed && ob.is_writer && config().record_protocol_events) {
+    ProtocolEvent event;
+    event.kind = ProtocolEventKind::kWriterUpdateReleased;
+    event.txn = txn;
+    event.item = item;
+    event.server = ShardOf(item);
+    RecordEvent(std::move(event));
+  }
+  const Version version_out =
+      ts.committed && ob.is_writer ? ob.version + 1 : ob.version;
+  const SiteId from = ts.client_index + 1;
+  if (ob.fl->IsLastEntry(ob.entry)) {
+    const int32_t shard = ShardOf(item);
+    network().Send(
+        from, ServerSiteOf(shard), "return",
+        [this, shard, item, version_out] {
+          wms_[static_cast<size_t>(shard)]->OnReturn(item, version_out);
+          MaybeGcClientLogs();
+        },
+        net::kControlPayload + net::kDataPayload);
+  } else if (!ob.is_writer) {
+    const core::FlEntry& next = ob.fl->entry(ob.entry + 1);
+    GTPL_CHECK(!next.is_read_group);
+    const core::FlMember writer = next.members[0];
+    const uint64_t release_payload =
+        config().g2pl.mr1w ? net::kControlPayload
+                           : net::kControlPayload + net::kDataPayload;
+    network().Send(
+        from, writer.client, "reader-release",
+        [this, wt = writer.txn, item, version_out, fl = ob.fl,
+         we = ob.entry + 1] {
+          OnReaderRelease(wt, item, version_out, fl, we);
+        },
+        release_payload);
+  } else {
+    DeliverToEntry(from, item, version_out, ob.fl, ob.entry + 1);
+  }
+  --ts.slots_outstanding;
+  GTPL_CHECK_GE(ts.slots_outstanding, 0);
+  CheckDrain(txn);
+}
+
+void ShardedG2plEngine::CheckDrain(TxnId txn) {
+  TxnState& ts = txns_.at(txn);
+  if (ts.drained || !ts.finished || ts.slots_outstanding != 0) return;
+  ts.drained = true;
+  drained_.insert(txn);
+  // OnTxnDrained delegates to the shared coordinator, which retires the
+  // transaction across every shard; any manager routes there.
+  wms_[0]->OnTxnDrained(txn);
+  for (ItemId item : ts.slot_items) obligations_.erase(ObKey{txn, item});
+}
+
+void ShardedG2plEngine::DoCommit(TxnRun& run) {
+  TxnState& ts = EnsureTxn(run.id, run.client_index);
+  ts.finished = true;
+  ts.committed = true;
+  const std::vector<ItemId> items = ts.slot_items;  // TryForward may drain
+  for (ItemId item : items) TryForward(run.id, item);
+  CheckDrain(run.id);
+}
+
+void ShardedG2plEngine::OnClientAborted(TxnRun& run) {
+  TxnState& ts = EnsureTxn(run.id, run.client_index);
+  ts.finished = true;
+  ts.committed = false;
+  const std::vector<ItemId> items = ts.slot_items;
+  for (ItemId item : items) TryForward(run.id, item);
+  CheckDrain(run.id);
+}
+
+bool ShardedG2plEngine::ShardVote(int32_t shard, TxnId txn) {
+  (void)shard;  // deadlock avoidance is global; every shard sees the same
+  return !coordinator_->IsAborted(txn);
+}
+
+void ShardedG2plEngine::OnCommitDecision(int32_t shard, TxnId txn) {
+  // Nothing further server-side: in g-2PL the committed data itself
+  // migrates along the forward lists; the servers learn outcomes from the
+  // return messages. The base class already logged the decision.
+  (void)shard;
+  (void)txn;
+}
+
+void ShardedG2plEngine::FillProtocolMetrics(RunResult* result) {
+  int64_t requests = 0;
+  for (const auto& wm : wms_) {
+    result->windows_dispatched += wm->windows_dispatched();
+    result->read_group_expansions += wm->expansions();
+    requests += wm->total_dispatched_requests();
+  }
+  result->mean_forward_list_length =
+      result->windows_dispatched > 0
+          ? static_cast<double>(requests) /
+                static_cast<double>(result->windows_dispatched)
+          : 0.0;
+  result->cross_server_commits = cross_server_commits_;
+  result->commit_participants = commit_participants_;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedS2plEngine
+// ---------------------------------------------------------------------------
+// Mirrors S2plEngine (s2pl.cc) with one lock table per shard and a single
+// global waits-for graph; the per-operation sequences are identical when
+// num_servers == 1 (equivalence suite).
+
+ShardedS2plEngine::ShardedS2plEngine(const SimConfig& config)
+    : ShardedEngineBase(config) {
+  lock_tables_.reserve(static_cast<size_t>(config.num_servers));
+  for (int32_t shard = 0; shard < config.num_servers; ++shard) {
+    lock_tables_.push_back(
+        std::make_unique<db::LockTable>(config.workload.num_items));
+  }
+}
+
+void ShardedS2plEngine::SendRequest(TxnRun& run) {
+  const TxnId txn = run.id;
+  const SiteId site = run.site();
+  const workload::Operation op = run.op();
+  const int32_t shard = ShardOf(op.item);
+  network().Send(site, ServerSiteOf(shard), "lock-request",
+                 [this, shard, txn, site, op] {
+                   ServerOnRequest(shard, txn, site, op.item, op.mode);
+                 });
+}
+
+void ShardedS2plEngine::ServerOnRequest(int32_t shard, TxnId txn,
+                                        SiteId client_site, ItemId item,
+                                        LockMode mode) {
+  (void)client_site;
+  if (server_aborted_.count(txn) > 0) return;
+  db::LockTable& table = *lock_tables_[static_cast<size_t>(shard)];
+  const db::LockResult outcome = table.Request(txn, item, mode);
+  if (outcome == db::LockResult::kGranted) {
+    SendGrant(shard, txn, item, mode);
+    return;
+  }
+  // Blocked: detection consults the *global* waits-for graph (the shared
+  // coordination plane), so cross-shard deadlocks are found exactly like
+  // local ones.
+  wfg_.AddWaits(txn, table.Blockers(txn, item));
+  while (true) {
+    const std::vector<TxnId> cycle = wfg_.CycleThrough(txn);
+    if (cycle.empty()) break;
+    TxnId victim = txn;
+    if (config().s2pl.victim == S2plOptions::Victim::kYoungest) {
+      victim = *std::max_element(cycle.begin(), cycle.end());
+    }
+    ServerAbort(shard, victim);
+    if (victim == txn) break;
+  }
+}
+
+void ShardedS2plEngine::SendGrant(int32_t shard, TxnId txn, ItemId item,
+                                  LockMode mode) {
+  (void)mode;
+  TxnRun* run = FindRun(txn);
+  if (run == nullptr) return;
+  const Version version = store().VersionOf(item);
+  network().Send(
+      ServerSiteOf(shard), run->site(), "grant+data",
+      [this, txn, item, version] {
+        TxnRun* target = FindRun(txn);
+        if (target == nullptr || target->finished || target->doomed) {
+          return;
+        }
+        GTPL_CHECK_EQ(target->op().item, item);
+        OpGranted(*target, version);
+      },
+      net::kControlPayload + net::kDataPayload);
+}
+
+void ShardedS2plEngine::ServerAbort(int32_t deciding_shard, TxnId victim) {
+  GTPL_CHECK(server_aborted_.insert(victim).second);
+  ++deadlock_aborts_;
+  wfg_.RemoveTxn(victim);
+  // The victim's locks are dropped on every shard at decision time (the
+  // instantaneous coordination plane; see the determinism contract).
+  for (int32_t shard = 0; shard < num_servers(); ++shard) {
+    lock_tables_[static_cast<size_t>(shard)]->ReleaseAll(
+        victim, [this, shard](TxnId txn, ItemId item, LockMode mode) {
+          wfg_.ClearWaits(txn);
+          SendGrant(shard, txn, item, mode);
+        });
+  }
+  TxnRun* run = FindRun(victim);
+  GTPL_CHECK(run != nullptr) << "deadlock victim is not an active txn";
+  ServerAbortDecision(victim, run->site(), ServerSiteOf(deciding_shard));
+}
+
+void ShardedS2plEngine::DoCommit(TxnRun& run) {
+  // One release message per participant shard, carrying that shard's
+  // updates (these releases are the effective phase two of a cross-server
+  // commit; single-shard transactions send exactly the one message the
+  // single-server engine sends).
+  std::vector<std::vector<Update>> updates_by(
+      static_cast<size_t>(num_servers()));
+  std::vector<bool> touched(static_cast<size_t>(num_servers()), false);
+  for (const OpRecord& record : run.records) {
+    const size_t shard = static_cast<size_t>(ShardOf(record.item));
+    touched[shard] = true;
+    if (record.mode == LockMode::kExclusive) {
+      updates_by[shard].push_back(Update{record.item, record.version_written});
+    }
+  }
+  const TxnId txn = run.id;
+  int32_t participants = 0;
+  for (const bool t : touched) participants += t ? 1 : 0;
+  pending_releases_[txn] = participants;
+  for (int32_t shard = 0; shard < num_servers(); ++shard) {
+    if (!touched[static_cast<size_t>(shard)]) continue;
+    std::vector<Update>& updates = updates_by[static_cast<size_t>(shard)];
+    const uint64_t payload =
+        net::kControlPayload + net::kDataPayload * updates.size();
+    network().Send(
+        run.site(), ServerSiteOf(shard), "release",
+        [this, shard, txn, updates = std::move(updates)] {
+          ServerOnRelease(shard, txn, updates);
+        },
+        payload);
+  }
+}
+
+void ShardedS2plEngine::ServerOnRelease(int32_t shard, TxnId txn,
+                                        std::vector<Update> updates) {
+  GTPL_CHECK_EQ(server_aborted_.count(txn), 0u)
+      << "a doomed transaction committed";
+  for (const Update& update : updates) {
+    store().Install(update.item, update.version);
+    const int64_t lsn = server_wal().Append(db::LogRecordKind::kInstall, txn,
+                                            update.item, update.version);
+    server_wal().Force(lsn);
+  }
+  MaybeGcClientLogs();
+  // The transaction leaves the global waits-for graph only once its last
+  // shard released (it still holds locks elsewhere until then).
+  auto pending = pending_releases_.find(txn);
+  GTPL_CHECK(pending != pending_releases_.end());
+  if (--pending->second == 0) {
+    pending_releases_.erase(pending);
+    wfg_.RemoveTxn(txn);
+  }
+  lock_tables_[static_cast<size_t>(shard)]->ReleaseAll(
+      txn, [this, shard](TxnId granted, ItemId item, LockMode mode) {
+        wfg_.ClearWaits(granted);
+        SendGrant(shard, granted, item, mode);
+      });
+}
+
+void ShardedS2plEngine::OnClientAborted(TxnRun& run) {
+  // Server state was already cleaned on every shard at decision time.
+  (void)run;
+}
+
+bool ShardedS2plEngine::ShardVote(int32_t shard, TxnId txn) {
+  (void)shard;  // the abort set is global, like the waits-for graph
+  return server_aborted_.count(txn) == 0;
+}
+
+void ShardedS2plEngine::OnCommitDecision(int32_t shard, TxnId txn) {
+  // The per-shard release messages (DoCommit) carry the actual lock
+  // releases and updates; the decision message only logs the outcome.
+  (void)shard;
+  (void)txn;
+}
+
+void ShardedS2plEngine::FillProtocolMetrics(RunResult* result) {
+  result->cross_server_commits = cross_server_commits_;
+  result->commit_participants = commit_participants_;
+}
+
+std::unique_ptr<EngineBase> MakeShardedEngine(const SimConfig& config) {
+  switch (config.protocol) {
+    case Protocol::kS2pl:
+      return std::make_unique<ShardedS2plEngine>(config);
+    case Protocol::kG2pl:
+      return std::make_unique<ShardedG2plEngine>(config);
+    default:
+      GTPL_CHECK(false) << "sharding supports only s-2PL and g-2PL";
+      return nullptr;
+  }
+}
+
+}  // namespace gtpl::proto

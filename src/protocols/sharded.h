@@ -1,0 +1,228 @@
+#ifndef GTPL_PROTOCOLS_SHARDED_H_
+#define GTPL_PROTOCOLS_SHARDED_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/forward_list.h"
+#include "core/window_manager.h"
+#include "db/lock_table.h"
+#include "db/waits_for_graph.h"
+#include "protocols/engine.h"
+
+namespace gtpl::proto {
+
+/// Multi-server extension of the paper's model (ROADMAP's sharding item):
+/// the item space is partitioned across `num_servers` simulated data
+/// servers by hash or range, each server owning the per-item protocol state
+/// for its shard. Clients still run one transaction at a time; each request
+/// is routed to the owning server's site, so every data round is charged
+/// the configured WAN latency by net::LatencyModel.
+///
+/// Commits that touched more than one server run a client-coordinated
+/// two-phase commit: the client forces a prepare record, sends `prepare` to
+/// every participant, collects votes, and on unanimous yes sends the commit
+/// decision (then commits locally as usual). Both rounds travel through the
+/// simulated network, so a cross-server commit pays two extra latency
+/// rounds — the cost the sharding bench quantifies. Transactions confined
+/// to one shard skip the protocol entirely, which is what makes the
+/// `num_servers == 1` configuration reproduce the single-server engines
+/// bit for bit (the standing equivalence suite pins this).
+///
+/// Determinism contract (DESIGN.md §8): the servers' *coordination plane*
+/// (shared precedence graph / waits-for graph, abort decisions) is modeled
+/// as instantaneous, like the paper's zero-cost server reordering; only the
+/// data and commit paths pay latency.
+class ShardedEngineBase : public EngineBase {
+ public:
+  explicit ShardedEngineBase(const SimConfig& config);
+
+  int32_t num_servers() const { return config().num_servers; }
+
+  /// Shard owning `item`, by the configured routing.
+  int32_t ShardOf(ItemId item) const;
+
+  /// Site id of shard `shard`'s server: shard 0 keeps kServerSite, extra
+  /// shard k >= 1 lives at site num_clients + k.
+  SiteId ServerSiteOf(int32_t shard) const {
+    return shard == 0 ? kServerSite
+                      : static_cast<SiteId>(num_clients() + shard);
+  }
+
+ protected:
+  /// Distinct shards `run`'s operations touch, ascending.
+  std::vector<int32_t> ParticipantsOf(const TxnRun& run) const;
+
+  /// Two-phase commit entry point: single-shard transactions fall through
+  /// to EngineBase::StartCommit; cross-server ones run prepare/vote first.
+  void StartCommit(TxnRun& run) override;
+
+  /// Participant `shard`'s vote on committing `txn`, computed when the
+  /// prepare message arrives at the server.
+  virtual bool ShardVote(int32_t shard, TxnId txn) = 0;
+
+  /// The commit decision arrived at participant `shard` (phase two); the
+  /// base already logged it to the server WAL and recorded the event.
+  virtual void OnCommitDecision(int32_t shard, TxnId txn) = 0;
+
+  /// Cross-server commit counters; subclasses copy them into the result
+  /// from FillProtocolMetrics.
+  int64_t cross_server_commits_ = 0;
+  stats::Welford commit_participants_;
+
+ private:
+  struct CommitCtx {
+    int32_t votes_pending = 0;
+    bool all_yes = true;
+    std::vector<int32_t> participants;
+  };
+
+  void OnPrepareArrived(int32_t shard, TxnId txn);
+  void OnVoteArrived(TxnId txn, int32_t shard, bool yes);
+  void OnDecisionArrived(int32_t shard, TxnId txn);
+
+  int32_t items_per_shard_ = 1;  // range routing stride
+  std::unordered_map<TxnId, CommitCtx> commits_;
+};
+
+/// g-2PL across shards: one WindowManager per server, all sharing a single
+/// ShardCoordinator, so deadlock avoidance and forward-list reordering
+/// consult one global precedence graph — the same-pair-same-order property
+/// holds across shards. Client-side obligation tracking is shard-agnostic
+/// (items migrate client to client exactly as in the single-server engine;
+/// only the request/return endpoints differ per item).
+class ShardedG2plEngine : public ShardedEngineBase {
+ public:
+  explicit ShardedG2plEngine(const SimConfig& config);
+
+  const core::WindowManager& window_manager(int32_t shard) const {
+    return *wms_[static_cast<size_t>(shard)];
+  }
+  const core::ShardCoordinator& coordinator() const { return *coordinator_; }
+
+ protected:
+  void SendRequest(TxnRun& run) override;
+  void DoCommit(TxnRun& run) override;
+  void OnClientAborted(TxnRun& run) override;
+  void FillProtocolMetrics(RunResult* result) override;
+  bool ShardVote(int32_t shard, TxnId txn) override;
+  void OnCommitDecision(int32_t shard, TxnId txn) override;
+
+ private:
+  // Client-side state mirrors G2plEngine exactly (see g2pl.h).
+  struct TxnState {
+    int32_t client_index = 0;
+    bool finished = false;
+    bool committed = false;
+    bool drained = false;
+    int32_t slots_outstanding = 0;
+    std::vector<ItemId> slot_items;
+  };
+
+  struct Obligation {
+    std::shared_ptr<const core::ForwardList> fl;
+    int32_t entry = 0;
+    int32_t member = 0;
+    bool is_writer = false;
+    bool data_arrived = false;
+    Version version = -1;
+    int32_t releases_needed = 0;
+    int32_t releases_received = 0;
+    bool granted = false;
+    bool forwarded = false;
+  };
+
+  struct ObKey {
+    TxnId txn;
+    ItemId item;
+    bool operator==(const ObKey& other) const {
+      return txn == other.txn && item == other.item;
+    }
+  };
+  struct ObKeyHash {
+    size_t operator()(const ObKey& key) const {
+      return std::hash<int64_t>()(key.txn * 1000003 + key.item);
+    }
+  };
+
+  void WmDispatch(int32_t shard, ItemId item, Version version,
+                  std::shared_ptr<const core::ForwardList> fl);
+  void WmAbort(int32_t shard, TxnId txn, SiteId client_site);
+  void WmExpand(int32_t shard, ItemId item, Version version,
+                std::shared_ptr<const core::ForwardList> fl, TxnId txn,
+                SiteId client_site, int32_t member_index);
+
+  void DeliverToEntry(SiteId from_site, ItemId item, Version version,
+                      std::shared_ptr<const core::ForwardList> fl,
+                      int32_t entry_index);
+  void OnData(TxnId txn, ItemId item, Version version,
+              std::shared_ptr<const core::ForwardList> fl,
+              int32_t entry_index, int32_t member_index,
+              int32_t early_releases);
+  void OnReaderRelease(TxnId writer_txn, ItemId item, Version version,
+                       std::shared_ptr<const core::ForwardList> fl,
+                       int32_t writer_entry_index);
+  void MaybeGrant(TxnId txn, ItemId item, Obligation& ob);
+  void TryForward(TxnId txn, ItemId item);
+  void CheckDrain(TxnId txn);
+  TxnState& EnsureTxn(TxnId txn, int32_t client_index);
+
+  std::unique_ptr<core::ShardCoordinator> coordinator_;
+  std::vector<std::unique_ptr<core::WindowManager>> wms_;
+  std::unordered_map<TxnId, TxnState> txns_;
+  std::unordered_map<ObKey, Obligation, ObKeyHash> obligations_;
+  std::unordered_set<TxnId> drained_;
+};
+
+/// s-2PL across shards: one FIFO lock table per server, deadlock detection
+/// on one *global* waits-for graph (the shared coordination plane). A
+/// deadlock victim's locks are released on every shard at decision time; at
+/// commit the client sends one release message per participant server
+/// carrying that shard's updates (those releases are the effective phase
+/// two of the cross-server commit), and the victim leaves the waits-for
+/// graph only when its last shard released.
+class ShardedS2plEngine : public ShardedEngineBase {
+ public:
+  explicit ShardedS2plEngine(const SimConfig& config);
+
+  int64_t deadlock_aborts() const { return deadlock_aborts_; }
+
+ protected:
+  void SendRequest(TxnRun& run) override;
+  void DoCommit(TxnRun& run) override;
+  void OnClientAborted(TxnRun& run) override;
+  void FillProtocolMetrics(RunResult* result) override;
+  bool ShardVote(int32_t shard, TxnId txn) override;
+  void OnCommitDecision(int32_t shard, TxnId txn) override;
+
+ private:
+  struct Update {
+    ItemId item;
+    Version version;
+  };
+
+  void ServerOnRequest(int32_t shard, TxnId txn, SiteId client_site,
+                       ItemId item, LockMode mode);
+  void ServerOnRelease(int32_t shard, TxnId txn, std::vector<Update> updates);
+  void SendGrant(int32_t shard, TxnId txn, ItemId item, LockMode mode);
+  void ServerAbort(int32_t deciding_shard, TxnId victim);
+
+  std::vector<std::unique_ptr<db::LockTable>> lock_tables_;
+  db::WaitsForGraph wfg_;  // global across shards
+  std::unordered_set<TxnId> server_aborted_;
+  // Release messages still in flight per committing txn; the txn leaves the
+  // waits-for graph when the count reaches zero.
+  std::unordered_map<TxnId, int32_t> pending_releases_;
+  int64_t deadlock_aborts_ = 0;
+};
+
+/// Builds the sharded engine for `config.protocol` (s-2PL or g-2PL only;
+/// Validate() rejects sharded caching protocols).
+std::unique_ptr<EngineBase> MakeShardedEngine(const SimConfig& config);
+
+}  // namespace gtpl::proto
+
+#endif  // GTPL_PROTOCOLS_SHARDED_H_

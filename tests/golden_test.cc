@@ -1,0 +1,138 @@
+// Golden regression tests: tiny deterministic grids of the latency bench
+// (Figures 2-4) and the sharding bench, rendered to fixed-precision metric
+// tables and diffed against checked-in expectations. Catches silent
+// protocol drift — a change that flips any metric of any grid point fails
+// here even if every invariant still holds.
+//
+// To regenerate after an *intended* protocol change:
+//   GTPL_UPDATE_GOLDEN=1 ./build/tests/golden_test
+// then review the diff of tests/golden/*.golden like any other code change.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "protocols/config.h"
+
+namespace gtpl::harness {
+namespace {
+
+#ifndef GTPL_GOLDEN_DIR
+#error "GTPL_GOLDEN_DIR must point at the checked-in golden files"
+#endif
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(GTPL_GOLDEN_DIR) + "/" + name;
+}
+
+void CompareOrUpdate(const std::string& name, const std::string& fresh) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("GTPL_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << fresh;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate with GTPL_UPDATE_GOLDEN=1)";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), fresh)
+      << "metrics drifted from " << path
+      << "; if the change is intended, regenerate with GTPL_UPDATE_GOLDEN=1 "
+         "and review the diff";
+}
+
+proto::SimConfig TinyBaseConfig() {
+  proto::SimConfig config;
+  config.num_clients = 20;
+  config.workload.num_items = 25;
+  config.measured_txns = 300;
+  config.warmup_txns = 30;
+  config.seed = 42;
+  config.max_sim_time = 10'000'000'000;
+  return config;
+}
+
+TEST(GoldenTest, Fig24LatencyGrid) {
+  // Shrunk version of bench_fig2_4_latency's grid (same sweep structure and
+  // seed derivation as the bench: RunSweep with point-seed mixing).
+  std::vector<proto::SimConfig> points;
+  struct Row {
+    double pr;
+    SimTime latency;
+    proto::Protocol protocol;
+  };
+  std::vector<Row> rows;
+  for (double pr : {0.0, 0.6}) {
+    for (SimTime latency : {1, 250}) {
+      for (proto::Protocol protocol :
+           {proto::Protocol::kS2pl, proto::Protocol::kG2pl}) {
+        proto::SimConfig config = TinyBaseConfig();
+        config.workload.read_prob = pr;
+        config.latency = latency;
+        config.protocol = protocol;
+        points.push_back(config);
+        rows.push_back({pr, latency, protocol});
+      }
+    }
+  }
+  const SweepResult sweep = RunSweep(points, /*runs=*/2, /*jobs=*/2);
+  Table table({"pr", "latency", "protocol", "resp", "abort%", "msgs/commit",
+               "fl_len"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const PointResult& point = sweep.points[i];
+    EXPECT_FALSE(point.any_timed_out);
+    table.AddRow({Fmt(rows[i].pr, 1), std::to_string(rows[i].latency),
+                  proto::ToString(rows[i].protocol),
+                  Fmt(point.response.mean, 3), Fmt(point.abort_pct.mean, 3),
+                  Fmt(point.mean_messages_per_commit, 3),
+                  Fmt(point.fl_length.mean, 3)});
+  }
+  CompareOrUpdate("fig2_4_latency.golden", table.ToCsv());
+}
+
+TEST(GoldenTest, ShardingGrid) {
+  // Shrunk version of bench_ext_sharding's grid.
+  std::vector<proto::SimConfig> points;
+  struct Row {
+    proto::Protocol protocol;
+    int32_t servers;
+  };
+  std::vector<Row> rows;
+  for (proto::Protocol protocol :
+       {proto::Protocol::kS2pl, proto::Protocol::kG2pl}) {
+    for (int32_t servers : {1, 2, 4}) {
+      proto::SimConfig config = TinyBaseConfig();
+      config.protocol = protocol;
+      config.latency = 100;
+      config.num_servers = servers;
+      points.push_back(config);
+      rows.push_back({protocol, servers});
+    }
+  }
+  const SweepResult sweep = RunSweep(points, /*runs=*/2, /*jobs=*/2);
+  Table table({"protocol", "servers", "resp", "abort%", "xserver%", "parts",
+               "msgs/commit"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const PointResult& point = sweep.points[i];
+    EXPECT_FALSE(point.any_timed_out);
+    table.AddRow({proto::ToString(rows[i].protocol),
+                  std::to_string(rows[i].servers), Fmt(point.response.mean, 3),
+                  Fmt(point.abort_pct.mean, 3), Fmt(point.cross_server_pct, 3),
+                  Fmt(point.mean_commit_participants, 3),
+                  Fmt(point.mean_messages_per_commit, 3)});
+  }
+  CompareOrUpdate("sharding.golden", table.ToCsv());
+}
+
+}  // namespace
+}  // namespace gtpl::harness

@@ -130,6 +130,43 @@ TEST(CliTest, ParsesJobsFlag) {
   EXPECT_FALSE(ParseCli(2, argv2, &options).ok());
 }
 
+// Exhaustive CLI error paths: every out-of-range, malformed, or truncated
+// flag must be rejected (not clamped, not ignored) so a typo in a sweep
+// script can never silently run the wrong experiment.
+TEST(CliTest, RejectsOutOfRangeAndMalformedFlags) {
+  const std::vector<std::string> bad = {
+      "--jobs=-3",   "--jobs=4097", "--jobs=abc", "--jobs=",
+      "--runs=0",    "--runs=101",  "--runs=",    "--warmup=-1",
+      "--warmup=no", "--seed=-1",   "--seed=1e4", "--txns=0",
+      "--txns=",     "--csv",       "-x",         "--",
+  };
+  for (const std::string& flag : bad) {
+    CliOptions options;
+    std::vector<char> arg(flag.begin(), flag.end());
+    arg.push_back('\0');
+    char prog[] = "bench";
+    char* argv[] = {prog, arg.data()};
+    EXPECT_FALSE(ParseCli(2, argv, &options).ok()) << flag;
+  }
+}
+
+// A bad flag rejects the whole invocation even when earlier flags parsed,
+// and --help surfaces as a non-ok status so callers print usage and exit.
+TEST(CliTest, StopsAtFirstBadFlagAndTreatsHelpAsExit) {
+  CliOptions options;
+  char prog[] = "bench";
+  char good[] = "--txns=50";
+  char bad[] = "--runs=0";
+  char* argv[] = {prog, good, bad};
+  EXPECT_FALSE(ParseCli(3, argv, &options).ok());
+  CliOptions help_options;
+  char help[] = "--help";
+  char* argv2[] = {prog, help};
+  const Status status = ParseCli(2, argv2, &help_options);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "help requested");
+}
+
 TEST(ExperimentTest, RunReplicatedAggregatesAcrossSeeds) {
   proto::SimConfig config;
   config.protocol = proto::Protocol::kS2pl;
