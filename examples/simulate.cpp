@@ -33,6 +33,9 @@ void PrintUsage(const char* prog) {
       "  --latency=N          one-way network latency, time units (500)\n"
       "  --jitter=N           extra U[0,N] per message (0)\n"
       "  --spread=F           client distance spread in [0,1] (0)\n"
+      "  --bandwidth=F        link bandwidth, payload units/tick; 0 = inf (0)\n"
+      "  --nic-queue          FIFO per-endpoint NIC queues (off)\n"
+      "  --cross-traffic=F    background NIC load in [0,1) (0)\n"
       "  --items=N            hot data items at the server (25)\n"
       "  --ops=MIN:MAX        items accessed per txn (1:5)\n"
       "  --read-prob=F        probability an access is a read (0.5)\n"
@@ -82,6 +85,12 @@ bool ParseFlag(const std::string& arg, Flags* flags) {
     config.latency_jitter = std::atoll(v4);
   } else if (const char* v5 = value_of("--spread=")) {
     config.latency_spread = std::atof(v5);
+  } else if (const char* vb = value_of("--bandwidth=")) {
+    config.link_bandwidth = std::atof(vb);
+  } else if (arg == "--nic-queue") {
+    config.nic_queue = true;
+  } else if (const char* vc = value_of("--cross-traffic=")) {
+    config.cross_traffic_load = std::atof(vc);
   } else if (const char* v6 = value_of("--items=")) {
     config.workload.num_items = std::atoi(v6);
   } else if (const char* v7 = value_of("--ops=")) {
@@ -155,7 +164,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("protocol %s, %d clients, latency %lld (+U[0,%lld], spread "
-              "%.2f), %d items, ops %d-%d, pr %.2f, zipf %.2f\n\n",
+              "%.2f), %d items, ops %d-%d, pr %.2f, zipf %.2f\n",
               gtpl::proto::ToString(flags.config.protocol),
               flags.config.num_clients,
               static_cast<long long>(flags.config.latency),
@@ -165,6 +174,14 @@ int main(int argc, char** argv) {
               flags.config.workload.max_items_per_txn,
               flags.config.workload.read_prob,
               flags.config.workload.zipf_theta);
+  if (flags.config.link_bandwidth > 0.0) {
+    std::printf("link bandwidth %.2f units/tick, NIC queues %s, "
+                "cross-traffic load %.2f\n",
+                flags.config.link_bandwidth,
+                flags.config.nic_queue ? "on" : "off",
+                flags.config.cross_traffic_load);
+  }
+  std::printf("\n");
 
   const gtpl::harness::PointResult point =
       gtpl::harness::RunReplicated(flags.config, flags.runs, flags.jobs);
@@ -184,6 +201,15 @@ int main(int argc, char** argv) {
                 gtpl::harness::Fmt(point.throughput.mean, 3)});
   table.AddRow({"messages per commit",
                 gtpl::harness::Fmt(point.mean_messages_per_commit, 1)});
+  if (flags.config.link_bandwidth > 0.0) {
+    table.AddRow({"queue delay per message",
+                  gtpl::harness::Fmt(point.mean_queue_delay, 2)});
+    table.AddRow({"queue delay p99",
+                  gtpl::harness::Fmt(point.queue_delay_p99, 1)});
+    table.AddRow({"peak link utilization",
+                  gtpl::harness::Fmt(100 * point.mean_link_utilization, 1) +
+                      "%"});
+  }
   if (flags.config.protocol == gtpl::proto::Protocol::kG2pl) {
     table.AddRow({"mean forward-list length",
                   gtpl::harness::Fmt(point.fl_length.mean, 2)});

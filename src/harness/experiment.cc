@@ -41,6 +41,9 @@ PointResult AggregateReplications(const std::vector<ReplicaRun>& runs) {
   double expansions = 0.0;
   double cross_pct = 0.0;
   double participants = 0.0;
+  double queue_delay = 0.0;
+  double queue_p99 = 0.0;
+  double utilization = 0.0;
   int64_t cross_runs = 0;
   for (const ReplicaRun& run : runs) {
     const proto::RunResult& result = run.result;
@@ -66,6 +69,10 @@ PointResult AggregateReplications(const std::vector<ReplicaRun>& runs) {
       participants += result.commit_participants.mean();
       ++cross_runs;
     }
+    queue_delay += result.network.sender_queue_delay.mean() +
+                   result.network.receiver_queue_delay.mean();
+    queue_p99 += result.queue_delay_p99;
+    utilization += result.max_link_utilization;
   }
   const auto runs_count = static_cast<double>(runs.size());
   out.response = stats::Summarize(responses);
@@ -78,6 +85,9 @@ PointResult AggregateReplications(const std::vector<ReplicaRun>& runs) {
   out.cross_server_pct = cross_pct / runs_count;
   out.mean_commit_participants =
       cross_runs > 0 ? participants / static_cast<double>(cross_runs) : 0.0;
+  out.mean_queue_delay = queue_delay / runs_count;
+  out.queue_delay_p99 = queue_p99 / runs_count;
+  out.mean_link_utilization = utilization / runs_count;
   return out;
 }
 

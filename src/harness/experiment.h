@@ -22,6 +22,12 @@ struct PointResult {
   stats::ReplicationSummary fl_length;     // mean forward-list length (g-2PL)
   double mean_messages_per_commit = 0.0;
   double mean_payload_per_commit = 0.0;  // abstract units (net::k*Payload)
+  /// Link-model metrics (0 under the default pure-propagation transport):
+  /// mean per-message NIC queueing delay (sender + receiver waits), its
+  /// 99th percentile, and the busiest NIC's busy fraction.
+  double mean_queue_delay = 0.0;
+  double queue_delay_p99 = 0.0;
+  double mean_link_utilization = 0.0;
   double expansions_per_commit = 0.0;  // g-2PL read-group expansions
   /// Sharded runs: % of measured commits that ran cross-server 2PC, and the
   /// mean number of participant servers per such commit (0 when unsharded).

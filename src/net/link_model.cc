@@ -1,0 +1,114 @@
+#include "net/link_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "rng/rng.h"
+
+namespace gtpl::net {
+
+LinkModel::LinkModel(const LinkConfig& config) : config_(config) {
+  GTPL_CHECK_GE(config.bandwidth, 0.0);
+  GTPL_CHECK_GE(config.cross_traffic_load, 0.0);
+  GTPL_CHECK_LT(config.cross_traffic_load, 1.0);
+  if (enabled() && config_.nic_queue && config_.cross_traffic_load > 0.0) {
+    bg_service_ = TransmissionDelay(kCrossTrafficFramePayload);
+    if (bg_service_ > 0) {
+      // Frame inter-arrival so that frames consume `load` of the capacity;
+      // load < 1 guarantees service < period (background alone never
+      // saturates a NIC, so the drain loop always converges).
+      bg_period_ = static_cast<SimTime>(std::llround(
+          static_cast<double>(bg_service_) / config_.cross_traffic_load));
+      bg_period_ = std::max(bg_period_, bg_service_ + 1);
+    }
+  }
+}
+
+SimTime LinkModel::TransmissionDelay(uint64_t payload) const {
+  if (!enabled() || payload == 0) return 0;
+  return static_cast<SimTime>(
+      std::llround(static_cast<double>(payload) / config_.bandwidth));
+}
+
+LinkModel::Nic& LinkModel::NicOf(std::unordered_map<SiteId, Nic>& side,
+                                 SiteId site, uint64_t phase_salt) {
+  auto [it, inserted] = side.try_emplace(site);
+  if (inserted && bg_period_ > 0) {
+    // Deterministic per-NIC phase offset so the periodic background streams
+    // of different NICs are not lock-stepped. Dedicated SplitMix64-derived
+    // stream: depends only on (seed, site, direction), never on how many
+    // random numbers anything else drew.
+    const uint64_t hash = rng::SplitMix64(
+        config_.seed +
+        0x632BE59BD9B4E019ULL *
+            (static_cast<uint64_t>(site) * 2 + phase_salt + 1));
+    it->second.bg_next =
+        static_cast<SimTime>(hash % static_cast<uint64_t>(bg_period_));
+  }
+  return it->second;
+}
+
+void LinkModel::DrainBackground(Nic& nic, SimTime now) {
+  if (bg_period_ <= 0) return;
+  while (nic.bg_next <= now) {
+    SimTime batch;
+    if (nic.free_at <= nic.bg_next) {
+      // NIC idle when the pending frames arrive; service < period, so each
+      // frame completes before the next shows up.
+      batch = (now - nic.bg_next) / bg_period_ + 1;
+      nic.free_at = nic.bg_next + (batch - 1) * bg_period_ + bg_service_;
+    } else {
+      // NIC busy past the next frame's arrival: frames arriving before it
+      // frees (and before `now`) queue back to back.
+      const SimTime bound = std::min(now, nic.free_at);
+      batch = (bound - nic.bg_next) / bg_period_ + 1;
+      nic.free_at += batch * bg_service_;
+    }
+    nic.bg_next += batch * bg_period_;
+    nic.busy_ticks += batch * bg_service_;
+  }
+}
+
+SimTime LinkModel::Admit(Nic& nic, SimTime service, SimTime now) {
+  DrainBackground(nic, now);
+  const SimTime start = std::max(now, nic.free_at);
+  nic.free_at = start + service;
+  nic.busy_ticks += service;
+  return start;
+}
+
+SimTime LinkModel::AdmitUplink(SiteId from, uint64_t payload, SimTime now) {
+  GTPL_CHECK(enabled());
+  const SimTime service = TransmissionDelay(payload);
+  if (!config_.nic_queue) return now + service;
+  return Admit(NicOf(uplinks_, from, /*phase_salt=*/0), service, now) +
+         service;
+}
+
+SimTime LinkModel::AdmitDownlink(SiteId to, uint64_t payload, SimTime now) {
+  GTPL_CHECK(enabled());
+  const SimTime service = TransmissionDelay(payload);
+  if (!config_.nic_queue) return now + service;
+  return Admit(NicOf(downlinks_, to, /*phase_salt=*/1), service, now) +
+         service;
+}
+
+SimTime LinkModel::MaxNicBusyTicks() const {
+  SimTime max_busy = 0;
+  for (const auto& [site, nic] : uplinks_) {
+    max_busy = std::max(max_busy, nic.busy_ticks);
+  }
+  for (const auto& [site, nic] : downlinks_) {
+    max_busy = std::max(max_busy, nic.busy_ticks);
+  }
+  return max_busy;
+}
+
+double LinkModel::MaxUtilization(SimTime horizon) const {
+  if (horizon <= 0) return 0.0;
+  return static_cast<double>(MaxNicBusyTicks()) /
+         static_cast<double>(horizon);
+}
+
+}  // namespace gtpl::net

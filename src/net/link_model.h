@@ -1,0 +1,118 @@
+#ifndef GTPL_NET_LINK_MODEL_H_
+#define GTPL_NET_LINK_MODEL_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace gtpl::net {
+
+/// Configuration of the link-level transport extension. The defaults
+/// reproduce the paper's model exactly: infinite bandwidth, no queues, no
+/// cross traffic — a message is charged pure propagation delay.
+struct LinkConfig {
+  /// Link capacity in abstract payload units (net::k*Payload) per simulated
+  /// time unit. 0 = infinite (the paper's "gigabit rates" premise); any
+  /// positive value charges transmission delay = payload / bandwidth.
+  double bandwidth = 0.0;
+
+  /// Model per-endpoint NIC queues: every site has one uplink and one
+  /// downlink, each a FIFO single server with deterministic service time
+  /// payload / bandwidth. Off = transmission delay only, no serialization.
+  bool nic_queue = false;
+
+  /// Deterministic background cross-traffic load in [0, 1): every NIC also
+  /// serves periodic background frames that consume this fraction of its
+  /// capacity. Requires nic_queue and finite bandwidth.
+  double cross_traffic_load = 0.0;
+
+  /// Seed of the dedicated RNG stream that draws per-NIC cross-traffic
+  /// phase offsets (SplitMix64-derived; never touches workload streams).
+  uint64_t seed = 0;
+};
+
+/// Payload of one background cross-traffic frame (a data-copy-sized burst).
+inline constexpr uint64_t kCrossTrafficFramePayload = 8;
+
+/// Link-level timing of one message, layered on top of a LatencyModel's
+/// propagation delay. The wire model is a two-stage tandem queue with
+/// cut-through switching:
+///
+///   sender uplink (FIFO, service S = payload / bandwidth)
+///     -> propagation (the LatencyModel's delay)
+///       -> receiver downlink (FIFO, service S)
+///
+/// The first bit leaves the sender when its uplink turn starts; it reaches
+/// the receiver's downlink one propagation later; the message is delivered
+/// when the downlink finishes clocking it in. Unloaded latency is therefore
+/// exactly transmission + propagation; concurrent sends add queueing delay
+/// at either endpoint. With bandwidth infinite the model is disabled and
+/// Network::Send takes the original pure-propagation path unchanged.
+///
+/// The sender side is resolved when the message is sent; the receiver side
+/// is resolved when the first bit arrives (so downlink FIFO order is true
+/// arrival order, not send order). Both are deterministic.
+class LinkModel {
+ public:
+  explicit LinkModel(const LinkConfig& config);
+
+  LinkModel(const LinkModel&) = delete;
+  LinkModel& operator=(const LinkModel&) = delete;
+
+  /// True iff the model charges anything at all (finite bandwidth).
+  bool enabled() const { return config_.bandwidth > 0.0; }
+
+  /// Transmission (serialization) delay of `payload` units, rounded to the
+  /// nearest tick; 0 when the payload is small relative to the bandwidth.
+  SimTime TransmissionDelay(uint64_t payload) const;
+
+  /// Admits a message of `payload` units to `from`'s uplink at time `now`.
+  /// Returns the uplink departure time (last bit on the wire); the first
+  /// bit reaches the receiver downlink at start-of-service + propagation,
+  /// i.e. at (departure - TransmissionDelay) + propagation.
+  SimTime AdmitUplink(SiteId from, uint64_t payload, SimTime now);
+
+  /// Admits a message whose first bit arrived at `to`'s downlink at time
+  /// `now` (call from the arrival event). Returns the delivery time (last
+  /// bit clocked in).
+  SimTime AdmitDownlink(SiteId to, uint64_t payload, SimTime now);
+
+  /// Busiest NIC's busy ticks (uplink or downlink, foreground + background
+  /// cross traffic) — the bottleneck link's occupancy.
+  SimTime MaxNicBusyTicks() const;
+
+  /// Busy fraction of the busiest NIC over `[0, horizon]`; can exceed 1
+  /// when the queue model is overloaded (service extends past the horizon).
+  double MaxUtilization(SimTime horizon) const;
+
+  const LinkConfig& config() const { return config_; }
+
+ private:
+  /// One FIFO NIC (an uplink or a downlink of one site).
+  struct Nic {
+    SimTime free_at = 0;    // earliest time a new service can start
+    SimTime busy_ticks = 0; // total service time charged (fg + bg)
+    SimTime bg_next = 0;    // arrival of the next background frame
+  };
+
+  /// Serializes `service` ticks of NIC time starting no earlier than `now`,
+  /// after any background frames that arrived first; returns service start.
+  SimTime Admit(Nic& nic, SimTime service, SimTime now);
+
+  /// Serves every background frame that arrived at or before `now`.
+  void DrainBackground(Nic& nic, SimTime now);
+
+  Nic& NicOf(std::unordered_map<SiteId, Nic>& side, SiteId site,
+             uint64_t phase_salt);
+
+  LinkConfig config_;
+  SimTime bg_service_ = 0;  // per-frame service time of cross traffic
+  SimTime bg_period_ = 0;   // frame inter-arrival; 0 = no cross traffic
+  std::unordered_map<SiteId, Nic> uplinks_;
+  std::unordered_map<SiteId, Nic> downlinks_;
+};
+
+}  // namespace gtpl::net
+
+#endif  // GTPL_NET_LINK_MODEL_H_

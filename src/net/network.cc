@@ -7,29 +7,99 @@
 namespace gtpl::net {
 
 Network::Network(sim::Simulator* simulator,
-                 std::unique_ptr<LatencyModel> latency)
-    : simulator_(simulator), latency_(std::move(latency)) {
+                 std::unique_ptr<LatencyModel> latency,
+                 const LinkConfig& link)
+    : simulator_(simulator),
+      latency_(std::move(latency)),
+      queue_delay_hist_(/*max_value=*/16384.0, /*num_buckets=*/1024) {
   GTPL_CHECK(simulator_ != nullptr);
   GTPL_CHECK(latency_ != nullptr);
+  // A LinkModel only exists when it charges something; the infinite-
+  // bandwidth configuration keeps the original pure-propagation Send path
+  // byte for byte (the degenerate-case guarantee the equivalence suite
+  // pins).
+  if (link.bandwidth > 0.0) link_ = std::make_unique<LinkModel>(link);
+}
+
+double Network::MaxLinkUtilization(SimTime horizon) const {
+  return link_ == nullptr ? 0.0 : link_->MaxUtilization(horizon);
 }
 
 void Network::Send(SiteId from, SiteId to, std::string label,
                    std::function<void()> on_deliver, uint64_t payload) {
-  const SimTime delay = latency_->Latency(from, to);
+  const SimTime propagation = latency_->Latency(from, to);
   ++stats_.messages;
   stats_.payload_units += payload;
-  if (from == kServerSite) {
+  const bool from_server = IsServerSite(from);
+  const bool to_server = IsServerSite(to);
+  if (from_server && to_server) {
+    ++stats_.server_to_server;
+  } else if (from_server) {
     ++stats_.server_to_client;
-  } else if (to == kServerSite) {
+  } else if (to_server) {
     ++stats_.client_to_server;
   } else {
     ++stats_.client_to_client;
   }
-  if (tracing_) {
-    trace_.push_back(TraceRecord{simulator_->Now(), simulator_->Now() + delay,
-                                 from, to, std::move(label)});
+
+  const SimTime now = simulator_->Now();
+  if (link_ == nullptr) {
+    if (tracing_) {
+      TraceRecord record;
+      record.send_time = now;
+      record.deliver_time = now + propagation;
+      record.from = from;
+      record.to = to;
+      record.label = std::move(label);
+      record.payload = payload;
+      record.tx_start = now;
+      record.rx_queue_entry = now + propagation;
+      trace_.push_back(std::move(record));
+    }
+    simulator_->Schedule(propagation, std::move(on_deliver));
+    return;
   }
-  simulator_->Schedule(delay, std::move(on_deliver));
+
+  // Link model: FIFO through the sender's uplink now, then propagation,
+  // then FIFO through the receiver's downlink when the first bit arrives
+  // (a second event, so downlink order is true arrival order).
+  const SimTime service = link_->TransmissionDelay(payload);
+  const SimTime departure = link_->AdmitUplink(from, payload, now);
+  const SimTime tx_start = departure - service;
+  const SimTime sender_delay = tx_start - now;
+  stats_.sender_queue_delay.Add(static_cast<double>(sender_delay));
+  stats_.transmission_ticks += static_cast<uint64_t>(service);
+  const SimTime first_bit_arrival = tx_start + propagation;
+
+  size_t trace_index = trace_.size();
+  if (tracing_) {
+    TraceRecord record;
+    record.send_time = now;
+    record.deliver_time = first_bit_arrival + service;  // patched on arrival
+    record.from = from;
+    record.to = to;
+    record.label = std::move(label);
+    record.payload = payload;
+    record.tx_start = tx_start;
+    record.rx_queue_entry = first_bit_arrival;
+    trace_.push_back(std::move(record));
+  }
+
+  simulator_->ScheduleAt(
+      first_bit_arrival,
+      [this, to, payload, service, sender_delay, trace_index,
+       deliver = std::move(on_deliver), traced = tracing_]() mutable {
+        const SimTime arrival = simulator_->Now();
+        const SimTime deliver_time = link_->AdmitDownlink(to, payload, arrival);
+        const SimTime receiver_delay = deliver_time - service - arrival;
+        stats_.receiver_queue_delay.Add(static_cast<double>(receiver_delay));
+        queue_delay_hist_.Add(
+            static_cast<double>(sender_delay + receiver_delay));
+        if (traced && trace_index < trace_.size()) {
+          trace_[trace_index].deliver_time = deliver_time;
+        }
+        simulator_->ScheduleAt(deliver_time, std::move(deliver));
+      });
 }
 
 }  // namespace gtpl::net

@@ -9,7 +9,10 @@
 
 #include "common/types.h"
 #include "net/latency_model.h"
+#include "net/link_model.h"
 #include "sim/simulator.h"
+#include "stats/histogram.h"
+#include "stats/welford.h"
 
 namespace gtpl::net {
 
@@ -17,12 +20,23 @@ namespace gtpl::net {
 /// counted in abstract units (see kControlPayload etc. below): the paper
 /// argues message *size* is not the constraint at gigabit rates, and the
 /// payload counters let benches show g-2PL's larger-but-fewer messages.
+/// The queue-delay accumulators stay empty under the pure-propagation
+/// model; they fill when a finite-bandwidth LinkModel is attached.
 struct NetworkStats {
   uint64_t messages = 0;
   uint64_t server_to_client = 0;
   uint64_t client_to_server = 0;
   uint64_t client_to_client = 0;
+  /// Server-site to server-site messages (2PC / shard coordination traffic;
+  /// 0 unless the site layout has several servers).
+  uint64_t server_to_server = 0;
   uint64_t payload_units = 0;
+  /// Total transmission (serialization) ticks charged across all messages.
+  uint64_t transmission_ticks = 0;
+  /// Per-message FIFO queueing delay at the sender uplink / the receiver
+  /// downlink (LinkModel with nic_queue; zero-count otherwise).
+  stats::Welford sender_queue_delay;
+  stats::Welford receiver_queue_delay;
 };
 
 /// Abstract payload sizes: a control message (request, release, ack,
@@ -32,46 +46,87 @@ inline constexpr uint64_t kDataPayload = 8;
 inline constexpr uint64_t kFlSlotPayload = 1;
 
 /// Optional per-message trace record, consumed by the quickstart example to
-/// print protocol timelines.
+/// print protocol timelines. Under the link model the record also exposes
+/// the queueing breakdown: the message waits in the sender's uplink queue
+/// during [send_time, tx_start], its first bit reaches the receiver's
+/// downlink queue at rx_queue_entry, and it is fully delivered at
+/// deliver_time. Under pure propagation tx_start == send_time and
+/// rx_queue_entry == deliver_time.
 struct TraceRecord {
-  SimTime send_time;
-  SimTime deliver_time;
-  SiteId from;
-  SiteId to;
+  SimTime send_time = 0;
+  SimTime deliver_time = 0;
+  SiteId from = 0;
+  SiteId to = 0;
   std::string label;
+  uint64_t payload = 0;
+  SimTime tx_start = 0;        // uplink service start (sender queue exit)
+  SimTime rx_queue_entry = 0;  // first bit at the receiver downlink
 };
 
 /// Message transport over the simulator: Send() schedules the delivery
-/// callback `latency(from, to)` ticks in the future. Protocol payloads live
-/// in the closure, so the transport is protocol-agnostic; message size is
-/// deliberately not modeled (the paper: "the size of the message is less of
-/// a concern than the number of rounds of message passing").
+/// callback at the destination. Protocol payloads live in the closure, so
+/// the transport is protocol-agnostic.
+///
+/// By default delivery is charged pure propagation delay — the paper's
+/// model ("the size of the message is less of a concern than the number of
+/// rounds of message passing"). Attaching a finite-bandwidth LinkConfig
+/// layers transmission delay and per-endpoint NIC queueing on top (see
+/// LinkModel); with bandwidth infinite the link path is bypassed entirely
+/// and the transport is bit-identical to the pure-propagation model.
 class Network {
  public:
-  Network(sim::Simulator* simulator, std::unique_ptr<LatencyModel> latency);
+  Network(sim::Simulator* simulator, std::unique_ptr<LatencyModel> latency,
+          const LinkConfig& link = LinkConfig{});
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
   /// Delivers `on_deliver` at the destination after the model's latency.
   /// `label` is used only when tracing is enabled; `payload` is the abstract
-  /// message size recorded in the stats (default: a control message).
+  /// message size recorded in the stats (default: a control message) and
+  /// charged transmission delay under a finite-bandwidth link model.
   void Send(SiteId from, SiteId to, std::string label,
             std::function<void()> on_deliver,
             uint64_t payload = kControlPayload);
+
+  /// Declares the site layout for direction accounting: sites kServerSite
+  /// and every site > `num_clients` are data servers (the sharded engines'
+  /// layout — shard k >= 1 lives at site num_clients + k). Without a
+  /// layout only kServerSite counts as a server.
+  void SetSiteLayout(int32_t num_clients) { num_clients_ = num_clients; }
+  bool IsServerSite(SiteId site) const {
+    return site == kServerSite || (num_clients_ >= 0 && site > num_clients_);
+  }
 
   /// Starts recording TraceRecords (for examples / debugging).
   void EnableTracing() { tracing_ = true; }
   const std::vector<TraceRecord>& trace() const { return trace_; }
 
   const NetworkStats& stats() const { return stats_; }
+
+  /// Distribution of per-message total queueing delay (sender + receiver);
+  /// empty under the pure-propagation model.
+  const stats::Histogram& queue_delay_histogram() const {
+    return queue_delay_hist_;
+  }
+
+  /// Busy fraction of the busiest NIC over `[0, horizon]`; 0 without a
+  /// finite-bandwidth link model. Can exceed 1 when overloaded (queued
+  /// service extends past the horizon).
+  double MaxLinkUtilization(SimTime horizon) const;
+
   sim::Simulator* simulator() const { return simulator_; }
   LatencyModel* latency_model() const { return latency_.get(); }
+  /// nullptr when the link model is disabled (infinite bandwidth).
+  LinkModel* link_model() const { return link_.get(); }
 
  private:
   sim::Simulator* simulator_;
   std::unique_ptr<LatencyModel> latency_;
+  std::unique_ptr<LinkModel> link_;
   NetworkStats stats_;
+  stats::Histogram queue_delay_hist_;
+  int32_t num_clients_ = -1;  // -1: no layout declared
   bool tracing_ = false;
   std::vector<TraceRecord> trace_;
 };

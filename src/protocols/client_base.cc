@@ -42,10 +42,23 @@ EngineBase::EngineBase(const SimConfig& config) : config_(config) {
             std::max<SimTime>(0, config.latency + offset[a] + offset[b]);
       }
     }
+    // Jitter draws come from a dedicated SplitMix64-derived stream, so the
+    // latency model never competes with workload/think-time generators for
+    // random numbers (per-component streams, ROADMAP item).
     latency_model = std::make_unique<net::MatrixLatency>(
-        std::move(matrix), config.latency_jitter, config.seed ^ 0x9E3779B9u);
+        std::move(matrix), config.latency_jitter,
+        rng::StreamSeed(config.seed, rng::SeedStream::kNetJitter));
   }
-  network_ = std::make_unique<net::Network>(&sim_, std::move(latency_model));
+  net::LinkConfig link;
+  link.bandwidth = config.link_bandwidth;
+  link.nic_queue = config.nic_queue;
+  link.cross_traffic_load = config.cross_traffic_load;
+  link.seed = rng::StreamSeed(config.seed, rng::SeedStream::kNetQueue);
+  network_ = std::make_unique<net::Network>(&sim_, std::move(latency_model),
+                                            link);
+  // Shard servers (sites > num_clients) must count as servers in the
+  // message-direction breakdown; harmless when there are none.
+  network_->SetSiteLayout(config.num_clients);
   if (config.trace) network_->EnableTracing();
   store_ = std::make_unique<db::DataStore>(config.workload.num_items);
   server_wal_ = std::make_unique<db::WriteAheadLog>(config.wal_force_delay);
@@ -89,6 +102,8 @@ RunResult EngineBase::Run() {
   result_.events = sim_.events_executed();
   result_.end_time = sim_.Now();
   result_.network = network_->stats();
+  result_.max_link_utilization = network_->MaxLinkUtilization(sim_.Now());
+  result_.queue_delay_p99 = network_->queue_delay_histogram().Quantile(0.99);
   result_.wal_appends = server_wal_->appends();
   result_.wal_forces = server_wal_->forces();
   result_.wal_retained = static_cast<int64_t>(server_wal_->size());

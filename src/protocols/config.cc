@@ -50,6 +50,16 @@ Status SimConfig::Validate() const {
   if (latency_spread < 0.0 || latency_spread > 1.0) {
     return Status::InvalidArgument("latency_spread must be in [0,1]");
   }
+  if (link_bandwidth < 0.0) {
+    return Status::InvalidArgument("link_bandwidth must be >= 0 (0 = inf)");
+  }
+  if (cross_traffic_load < 0.0 || cross_traffic_load >= 1.0) {
+    return Status::InvalidArgument("cross_traffic_load must be in [0,1)");
+  }
+  if (cross_traffic_load > 0.0 && (!nic_queue || link_bandwidth <= 0.0)) {
+    return Status::InvalidArgument(
+        "cross_traffic_load requires nic_queue and finite link_bandwidth");
+  }
   if (workload.num_items < 1) {
     return Status::InvalidArgument("num_items must be >= 1");
   }

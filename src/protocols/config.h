@@ -65,6 +65,20 @@ struct SimConfig {
   /// Both default to 0 (the paper's model).
   SimTime latency_jitter = 0;
   double latency_spread = 0.0;
+
+  /// Link-level transport extension (DESIGN.md §9). `link_bandwidth` is the
+  /// link capacity in abstract payload units (net::k*Payload) per time
+  /// unit; 0 = infinite, the paper's "gigabit rates" premise and the
+  /// default — the transport then charges pure propagation, bit-identical
+  /// to the pre-link-model engines (standing bandwidth_equivalence_test).
+  /// Finite bandwidth charges transmission delay = payload / bandwidth per
+  /// message; `nic_queue` additionally serializes concurrent sends FIFO
+  /// through per-endpoint NIC queues (sender uplink + receiver downlink);
+  /// `cross_traffic_load` (in [0,1), requires nic_queue) adds deterministic
+  /// periodic background frames eating that fraction of every NIC.
+  double link_bandwidth = 0.0;
+  bool nic_queue = false;
+  double cross_traffic_load = 0.0;
   workload::WorkloadProfile workload;
   core::G2plOptions g2pl;
   S2plOptions s2pl;

@@ -43,6 +43,12 @@ struct RunResult {
   /// Messages each committed transaction's lifetime overlapped is not
   /// meaningful per-txn; we track total network traffic instead.
   net::NetworkStats network;
+  /// Busy fraction of the busiest NIC over the run (finite-bandwidth link
+  /// model only; 0 under pure propagation). Can exceed 1 when overloaded.
+  double max_link_utilization = 0.0;
+  /// 99th percentile of per-message total queueing delay (sender uplink +
+  /// receiver downlink waits; link model with nic_queue only).
+  double queue_delay_p99 = 0.0;
 
   int64_t commits = 0;         // measured phase
   int64_t aborts = 0;          // measured phase

@@ -18,6 +18,12 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 uint64_t SplitMix64(uint64_t x) { return SplitMix64(&x); }
 
+uint64_t StreamSeed(uint64_t base_seed, SeedStream stream) {
+  return SplitMix64(base_seed +
+                    0x8BB84B93962EEFC9ULL *
+                        (static_cast<uint64_t>(stream) + 1));
+}
+
 void Rng::Seed(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& word : s_) word = SplitMix64(&sm);

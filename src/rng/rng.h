@@ -11,6 +11,20 @@ namespace gtpl::rng {
 /// streams out of it.
 uint64_t SplitMix64(uint64_t x);
 
+/// Engine components that draw randomness independently of the workload.
+/// Each gets a dedicated SplitMix64-derived stream off the run's base seed,
+/// so enabling one model (e.g. bandwidth queueing) never perturbs another's
+/// draws (e.g. think times) — the ROADMAP "per-component RNG streams" item.
+enum class SeedStream : uint64_t {
+  kNetJitter = 1,  // MatrixLatency per-message jitter
+  kNetQueue = 2,   // LinkModel cross-traffic phase offsets
+};
+
+/// Seed of `stream`'s dedicated generator under `base_seed`. Keyed with an
+/// odd multiplier (like harness::PointSeed / ReplicaSeed) so nearby base
+/// seeds and different streams never alias.
+uint64_t StreamSeed(uint64_t base_seed, SeedStream stream);
+
 /// Deterministic xoshiro256** generator seeded via SplitMix64.
 ///
 /// Self-contained (no <random>) so that results are identical across standard

@@ -100,6 +100,47 @@ TEST(GoldenTest, Fig24LatencyGrid) {
   CompareOrUpdate("fig2_4_latency.golden", table.ToCsv());
 }
 
+TEST(GoldenTest, BandwidthGrid) {
+  // Shrunk version of bench_ext_bandwidth's grid: bandwidth x latency with
+  // NIC queues on (bandwidth 0 = the infinite-bandwidth reference row).
+  std::vector<proto::SimConfig> points;
+  struct Row {
+    proto::Protocol protocol;
+    double bandwidth;
+    SimTime latency;
+  };
+  std::vector<Row> rows;
+  for (proto::Protocol protocol :
+       {proto::Protocol::kS2pl, proto::Protocol::kG2pl}) {
+    for (double bandwidth : {0.0, 2.0, 0.5}) {
+      for (SimTime latency : {1, 100}) {
+        proto::SimConfig config = TinyBaseConfig();
+        config.protocol = protocol;
+        config.latency = latency;
+        config.link_bandwidth = bandwidth;
+        config.nic_queue = bandwidth > 0.0;
+        points.push_back(config);
+        rows.push_back({protocol, bandwidth, latency});
+      }
+    }
+  }
+  const SweepResult sweep = RunSweep(points, /*runs=*/2, /*jobs=*/2);
+  Table table({"protocol", "bw", "latency", "resp", "abort%", "msgs/commit",
+               "qdelay", "qdelay_p99", "util%"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const PointResult& point = sweep.points[i];
+    EXPECT_FALSE(point.any_timed_out);
+    table.AddRow({proto::ToString(rows[i].protocol), Fmt(rows[i].bandwidth, 1),
+                  std::to_string(rows[i].latency), Fmt(point.response.mean, 3),
+                  Fmt(point.abort_pct.mean, 3),
+                  Fmt(point.mean_messages_per_commit, 3),
+                  Fmt(point.mean_queue_delay, 3),
+                  Fmt(point.queue_delay_p99, 3),
+                  Fmt(100 * point.mean_link_utilization, 3)});
+  }
+  CompareOrUpdate("bandwidth.golden", table.ToCsv());
+}
+
 TEST(GoldenTest, ShardingGrid) {
   // Shrunk version of bench_ext_sharding's grid.
   std::vector<proto::SimConfig> points;

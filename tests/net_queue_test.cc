@@ -1,0 +1,220 @@
+// Unit tests for the link-level transport extension (DESIGN.md §9): the
+// LinkModel's transmission and FIFO queueing math, deterministic background
+// cross traffic, arrival-order downlink service, and the engine-level
+// queueing metrics the harness reports.
+
+#include "net/link_model.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/latency_model.h"
+#include "net/network.h"
+#include "protocols/config.h"
+#include "protocols/engine.h"
+#include "sim/simulator.h"
+
+namespace gtpl::net {
+namespace {
+
+TEST(LinkModelTest, TransmissionDelayRoundsToNearestTick) {
+  LinkConfig config;
+  config.bandwidth = 2.0;
+  LinkModel link(config);
+  EXPECT_TRUE(link.enabled());
+  EXPECT_EQ(link.TransmissionDelay(8), 4);
+  EXPECT_EQ(link.TransmissionDelay(1), 1);  // 0.5 rounds away from zero
+  EXPECT_EQ(link.TransmissionDelay(0), 0);
+
+  LinkConfig fast;
+  fast.bandwidth = 8.0;
+  EXPECT_EQ(LinkModel(fast).TransmissionDelay(1), 0);  // sub-tick: free
+
+  LinkConfig slow;
+  slow.bandwidth = 0.5;
+  EXPECT_EQ(LinkModel(slow).TransmissionDelay(8), 16);
+}
+
+TEST(LinkModelTest, WithoutNicQueueChargesTransmissionOnly) {
+  LinkConfig config;
+  config.bandwidth = 1.0;  // service = payload ticks
+  LinkModel link(config);
+  // Concurrent sends do not serialize when NIC queues are off.
+  EXPECT_EQ(link.AdmitUplink(1, 8, 100), 108);
+  EXPECT_EQ(link.AdmitUplink(1, 8, 100), 108);
+  EXPECT_EQ(link.AdmitDownlink(2, 4, 100), 104);
+  EXPECT_EQ(link.AdmitDownlink(2, 4, 100), 104);
+}
+
+TEST(LinkModelTest, UplinkSerializesPerSiteFifo) {
+  LinkConfig config;
+  config.bandwidth = 1.0;
+  config.nic_queue = true;
+  LinkModel link(config);
+  EXPECT_EQ(link.AdmitUplink(1, 8, 0), 8);      // idle NIC: starts at once
+  EXPECT_EQ(link.AdmitUplink(1, 8, 0), 16);     // queued behind the first
+  EXPECT_EQ(link.AdmitUplink(1, 4, 10), 20);    // backlog still draining
+  EXPECT_EQ(link.AdmitUplink(2, 8, 0), 8);      // other sites independent
+  EXPECT_EQ(link.AdmitUplink(1, 8, 100), 108);  // idle again much later
+  EXPECT_EQ(link.MaxNicBusyTicks(), 28);        // site 1: 8 + 8 + 4 + 8
+}
+
+TEST(LinkModelTest, UplinkAndDownlinkAreSeparateNics) {
+  LinkConfig config;
+  config.bandwidth = 1.0;
+  config.nic_queue = true;
+  LinkModel link(config);
+  // Full duplex: site 1 can transmit and receive at the same time.
+  EXPECT_EQ(link.AdmitUplink(1, 8, 0), 8);
+  EXPECT_EQ(link.AdmitDownlink(1, 8, 0), 8);
+}
+
+// The receiver downlink serves messages in *arrival* order: under
+// heterogeneous propagation a message sent later can arrive earlier and is
+// then clocked in first, delaying the earlier-sent message behind it.
+TEST(NetworkLinkTest, DownlinkServesInArrivalOrder) {
+  sim::Simulator sim;
+  LinkConfig link;
+  link.bandwidth = 1.0;
+  link.nic_queue = true;
+  // 1 -> 0 is far (100 ticks), 2 -> 0 is near (10 ticks).
+  auto latency = std::make_unique<MatrixLatency>(
+      std::vector<std::vector<SimTime>>{
+          {0, 100, 10}, {100, 0, 0}, {10, 0, 0}},
+      /*jitter=*/0, /*seed=*/1);
+  Network net(&sim, std::move(latency), link);
+  std::vector<std::pair<int, SimTime>> deliveries;
+  net.Send(1, 0, "slow", [&] { deliveries.emplace_back(1, sim.Now()); }, 8);
+  sim.Schedule(85, [&] {
+    net.Send(2, 0, "fast", [&] { deliveries.emplace_back(2, sim.Now()); }, 8);
+  });
+  sim.Run();
+  // slow: first bit on the wire at 0, at the downlink at 100. fast: sent 85
+  // ticks later but its first bit arrives at 95 and grabs the downlink
+  // first (95-103); slow waits and clocks in 103-111.
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], (std::pair<int, SimTime>{2, 103}));
+  EXPECT_EQ(deliveries[1], (std::pair<int, SimTime>{1, 111}));
+  EXPECT_EQ(net.stats().receiver_queue_delay.max(), 3.0);  // 103 - 100
+}
+
+TEST(LinkModelTest, CrossTrafficIsDeterministic) {
+  LinkConfig config;
+  config.bandwidth = 1.0;
+  config.nic_queue = true;
+  config.cross_traffic_load = 0.5;
+  config.seed = 7;
+  LinkModel a(config);
+  LinkModel b(config);
+  for (SimTime now : {0, 5, 40, 41, 1000, 100000}) {
+    EXPECT_EQ(a.AdmitUplink(1, 8, now), b.AdmitUplink(1, 8, now)) << now;
+    EXPECT_EQ(a.AdmitDownlink(3, 8, now), b.AdmitDownlink(3, 8, now)) << now;
+  }
+  EXPECT_EQ(a.MaxNicBusyTicks(), b.MaxNicBusyTicks());
+}
+
+TEST(LinkModelTest, CrossTrafficConsumesConfiguredLoad) {
+  LinkConfig config;
+  config.bandwidth = 1.0;  // frame service 8, period 16 at load 0.5
+  config.nic_queue = true;
+  config.cross_traffic_load = 0.5;
+  config.seed = 3;
+  LinkModel link(config);
+  const SimTime horizon = 160000;
+  // A zero-payload probe just drains background frames up to the horizon.
+  link.AdmitUplink(1, 0, horizon);
+  EXPECT_NEAR(link.MaxUtilization(horizon), 0.5, 0.01);
+}
+
+TEST(LinkModelTest, CrossTrafficDelaysForegroundFrames) {
+  LinkConfig loaded_config;
+  loaded_config.bandwidth = 1.0;
+  loaded_config.nic_queue = true;
+  loaded_config.cross_traffic_load = 0.9;
+  loaded_config.seed = 11;
+  LinkModel loaded(loaded_config);
+  LinkConfig quiet_config = loaded_config;
+  quiet_config.cross_traffic_load = 0.0;
+  LinkModel quiet(quiet_config);
+  SimTime loaded_total = 0;
+  SimTime quiet_total = 0;
+  for (SimTime now = 0; now < 50000; now += 1000) {
+    const SimTime with_bg = loaded.AdmitUplink(1, 8, now);
+    const SimTime without = quiet.AdmitUplink(1, 8, now);
+    EXPECT_GE(with_bg, without);
+    loaded_total += with_bg - now;
+    quiet_total += without - now;
+  }
+  EXPECT_GT(loaded_total, quiet_total);
+}
+
+// Engine-level contract: a finite-bandwidth run is deterministic, charges
+// transmission and queueing on every message, reports utilization, and is
+// strictly slower than the paper's infinite-bandwidth model.
+TEST(LinkEngineTest, FiniteBandwidthDeterministicAndCharged) {
+  proto::SimConfig config;
+  config.protocol = proto::Protocol::kS2pl;
+  config.num_clients = 8;
+  config.latency = 20;
+  config.workload.num_items = 15;
+  config.measured_txns = 300;
+  config.warmup_txns = 30;
+  config.seed = 5;
+  config.link_bandwidth = 1.0;
+  config.nic_queue = true;
+  config.max_sim_time = 2'000'000'000;
+  const proto::RunResult a = proto::RunSimulation(config);
+  const proto::RunResult b = proto::RunSimulation(config);
+  ASSERT_FALSE(a.timed_out);
+  EXPECT_EQ(a.response.mean(), b.response.mean());
+  EXPECT_EQ(a.commits, b.commits);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.network.transmission_ticks, b.network.transmission_ticks);
+  EXPECT_EQ(a.max_link_utilization, b.max_link_utilization);
+  EXPECT_EQ(a.queue_delay_p99, b.queue_delay_p99);
+
+  // Every sent message enters the sender queue accounting; deliveries that
+  // complete before the simulation stops enter the receiver accounting.
+  EXPECT_EQ(a.network.sender_queue_delay.count(),
+            static_cast<int64_t>(a.network.messages));
+  EXPECT_GT(a.network.receiver_queue_delay.count(), 0);
+  EXPECT_LE(a.network.receiver_queue_delay.count(),
+            static_cast<int64_t>(a.network.messages));
+  EXPECT_GT(a.network.transmission_ticks, 0u);
+  EXPECT_GT(a.max_link_utilization, 0.0);
+
+  proto::SimConfig infinite = config;
+  infinite.link_bandwidth = 0.0;
+  infinite.nic_queue = false;
+  const proto::RunResult base = proto::RunSimulation(infinite);
+  ASSERT_FALSE(base.timed_out);
+  EXPECT_GT(a.response.mean(), base.response.mean());
+  EXPECT_EQ(base.network.transmission_ticks, 0u);
+  EXPECT_EQ(base.max_link_utilization, 0.0);
+}
+
+TEST(LinkEngineTest, CrossTrafficRaisesUtilizationAndResponse) {
+  proto::SimConfig config;
+  config.protocol = proto::Protocol::kS2pl;
+  config.num_clients = 8;
+  config.latency = 20;
+  config.workload.num_items = 15;
+  config.measured_txns = 300;
+  config.warmup_txns = 30;
+  config.seed = 5;
+  config.link_bandwidth = 1.0;
+  config.nic_queue = true;
+  config.max_sim_time = 2'000'000'000;
+  const proto::RunResult quiet = proto::RunSimulation(config);
+  config.cross_traffic_load = 0.8;
+  const proto::RunResult loaded = proto::RunSimulation(config);
+  ASSERT_FALSE(quiet.timed_out);
+  ASSERT_FALSE(loaded.timed_out);
+  EXPECT_GT(loaded.max_link_utilization, quiet.max_link_utilization);
+  EXPECT_GT(loaded.response.mean(), quiet.response.mean());
+}
+
+}  // namespace
+}  // namespace gtpl::net

@@ -105,5 +105,99 @@ TEST(NetworkTest, SameTickMessagesDeliverInSendOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
+TEST(NetworkTest, PayloadAccounting) {
+  sim::Simulator sim;
+  Network net(&sim, std::make_unique<UniformLatency>(1));
+  net.Send(1, 0, "control", [] {});  // default: one control unit
+  net.Send(0, 1, "grant+data", [] {}, kControlPayload + kDataPayload);
+  net.Send(1, 2, "fl-data", [] {}, kDataPayload + 3 * kFlSlotPayload);
+  sim.Run();
+  EXPECT_EQ(net.stats().messages, 3u);
+  EXPECT_EQ(net.stats().payload_units,
+            kControlPayload + (kControlPayload + kDataPayload) +
+                (kDataPayload + 3 * kFlSlotPayload));
+  // Pure propagation charges no transmission and records no queue waits.
+  EXPECT_EQ(net.stats().transmission_ticks, 0u);
+  EXPECT_EQ(net.stats().sender_queue_delay.count(), 0);
+  EXPECT_EQ(net.stats().receiver_queue_delay.count(), 0);
+}
+
+TEST(NetworkTest, SiteLayoutClassifiesShardServerTraffic) {
+  sim::Simulator sim;
+  Network net(&sim, std::make_unique<UniformLatency>(1));
+  // Sharded layout: 2 clients (sites 1-2); shard servers at 0 and 3.
+  net.SetSiteLayout(/*num_clients=*/2);
+  EXPECT_TRUE(net.IsServerSite(0));
+  EXPECT_FALSE(net.IsServerSite(1));
+  EXPECT_FALSE(net.IsServerSite(2));
+  EXPECT_TRUE(net.IsServerSite(3));
+  net.Send(1, 3, "prepare", [] {});  // client -> shard server
+  net.Send(3, 2, "vote", [] {});     // shard server -> client
+  net.Send(0, 3, "coord", [] {});    // server -> server
+  net.Send(1, 2, "data", [] {});     // client -> client migration
+  sim.Run();
+  EXPECT_EQ(net.stats().client_to_server, 1u);
+  EXPECT_EQ(net.stats().server_to_client, 1u);
+  EXPECT_EQ(net.stats().server_to_server, 1u);
+  EXPECT_EQ(net.stats().client_to_client, 1u);
+}
+
+TEST(NetworkTest, TraceRecordsPayloadAndDegenerateQueueTimes) {
+  sim::Simulator sim;
+  Network net(&sim, std::make_unique<UniformLatency>(10));
+  net.EnableTracing();
+  net.Send(1, 0, "req", [] {}, kControlPayload + kDataPayload);
+  sim.Run();
+  ASSERT_EQ(net.trace().size(), 1u);
+  const TraceRecord& record = net.trace()[0];
+  EXPECT_EQ(record.payload, kControlPayload + kDataPayload);
+  // Pure propagation: no sender queueing (tx starts at send time) and no
+  // receiver queueing (first bit and delivery coincide).
+  EXPECT_EQ(record.tx_start, record.send_time);
+  EXPECT_EQ(record.rx_queue_entry, record.deliver_time);
+}
+
+TEST(NetworkTest, LinkTraceSeparatesQueueEntryFromDelivery) {
+  sim::Simulator sim;
+  LinkConfig link;
+  link.bandwidth = 1.0;  // payload 8 -> 8 ticks of transmission
+  link.nic_queue = true;
+  Network net(&sim, std::make_unique<UniformLatency>(10), link);
+  net.EnableTracing();
+  // Two same-tick sends from one site: b waits behind a in the uplink.
+  net.Send(1, 0, "a", [] {}, 8);
+  net.Send(1, 0, "b", [] {}, 8);
+  sim.Run();
+  ASSERT_EQ(net.trace().size(), 2u);
+  const TraceRecord& a = net.trace()[0];
+  EXPECT_EQ(a.send_time, 0);
+  EXPECT_EQ(a.tx_start, 0);
+  EXPECT_EQ(a.rx_queue_entry, 10);  // first bit after propagation
+  EXPECT_EQ(a.deliver_time, 18);    // + transmission at the downlink
+  const TraceRecord& b = net.trace()[1];
+  EXPECT_EQ(b.send_time, 0);
+  EXPECT_EQ(b.tx_start, 8);         // queued behind a's transmission
+  EXPECT_EQ(b.rx_queue_entry, 18);
+  EXPECT_EQ(b.deliver_time, 26);
+  EXPECT_EQ(net.stats().sender_queue_delay.count(), 2);
+  EXPECT_EQ(net.stats().sender_queue_delay.max(), 8.0);
+  EXPECT_EQ(net.stats().transmission_ticks, 16u);
+}
+
+TEST(NetworkTest, InfiniteBandwidthBypassesLinkModel) {
+  sim::Simulator sim;
+  LinkConfig link;
+  link.bandwidth = 0.0;  // infinite: the paper's model
+  link.nic_queue = true;
+  Network net(&sim, std::make_unique<UniformLatency>(50), link);
+  EXPECT_EQ(net.link_model(), nullptr);
+  SimTime delivered_at = -1;
+  net.Send(1, 0, "msg", [&] { delivered_at = sim.Now(); }, 1000);
+  const uint64_t events = sim.Run();
+  EXPECT_EQ(delivered_at, 50);
+  EXPECT_EQ(events, 1u);  // one delivery event, exactly like pure propagation
+  EXPECT_EQ(net.MaxLinkUtilization(50), 0.0);
+}
+
 }  // namespace
 }  // namespace gtpl::net

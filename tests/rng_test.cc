@@ -88,6 +88,23 @@ TEST(RngTest, BernoulliMatchesProbability) {
   EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
 }
 
+TEST(RngTest, StreamSeedsAreStableAndDisjoint) {
+  // StreamSeed keys the named per-subsystem streams (net jitter, net queue)
+  // off one base seed: deterministic, and never equal to the base seed or
+  // to each other, so a subsystem drawing from its stream cannot perturb
+  // another subsystem's draws.
+  const uint64_t base = 42;
+  EXPECT_EQ(StreamSeed(base, SeedStream::kNetJitter),
+            StreamSeed(base, SeedStream::kNetJitter));
+  EXPECT_NE(StreamSeed(base, SeedStream::kNetJitter),
+            StreamSeed(base, SeedStream::kNetQueue));
+  EXPECT_NE(StreamSeed(base, SeedStream::kNetJitter), base);
+  EXPECT_NE(StreamSeed(base, SeedStream::kNetQueue), base);
+  // Nearby base seeds land on unrelated stream seeds.
+  EXPECT_NE(StreamSeed(base, SeedStream::kNetJitter),
+            StreamSeed(base + 1, SeedStream::kNetJitter));
+}
+
 TEST(RngTest, SplitProducesIndependentStream) {
   Rng a(23);
   Rng b = a.Split();
