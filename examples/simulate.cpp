@@ -7,16 +7,40 @@
 // Run with --help for the complete flag list.
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "harness/cli.h"
 #include "harness/experiment.h"
 #include "harness/table.h"
 #include "protocols/config.h"
 #include "protocols/engine.h"
 
 namespace {
+
+using gtpl::harness::ParseDoubleValue;
+using gtpl::harness::ParseInt32Value;
+using gtpl::harness::ParseInt64Value;
+
+/// Strict numeric flag parsing: the whole value must parse (from_chars), or
+/// the flag is rejected with a diagnostic — `--fl-cap=abc` is an error, not
+/// a silent 0 the way the atoi/atof family would read it.
+bool BadValue(const char* flag, const char* value) {
+  std::fprintf(stderr, "invalid value for %s: '%s'\n", flag, value);
+  return false;
+}
+
+bool ParseInt32Flag(const char* flag, const char* value, int32_t* out) {
+  return ParseInt32Value(value, out) || BadValue(flag, value);
+}
+
+bool ParseInt64Flag(const char* flag, const char* value, int64_t* out) {
+  return ParseInt64Value(value, out) || BadValue(flag, value);
+}
+
+bool ParseDoubleFlag(const char* flag, const char* value, double* out) {
+  return ParseDoubleValue(value, out) || BadValue(flag, value);
+}
 
 struct Flags {
   gtpl::proto::SimConfig config;
@@ -48,6 +72,13 @@ void PrintUsage(const char* prog) {
       "  --seed=N             base RNG seed (1)\n"
       "  --mr1w=0|1           g-2PL MR1W optimization (1)\n"
       "  --fl-cap=N           g-2PL forward-list length cap, 0 = none (0)\n"
+      "  --adaptive-window    g-2PL per-item adaptive FL cap (off)\n"
+      "  --adaptive-init=N    adaptive: initial cap per item (4)\n"
+      "  --adaptive-min=N     adaptive: cap floor, >= 1 (1)\n"
+      "  --adaptive-max=N     adaptive: cap ceiling (32)\n"
+      "  --adaptive-shrink=F  adaptive: multiplicative decrease in (0,1) (0.5)\n"
+      "  --adaptive-grow=N    adaptive: additive increase step (1)\n"
+      "  --adaptive-hysteresis=N  adaptive: clean windows before growth (2)\n"
       "  --expand-reads       g-2PL read-group expansion (off)\n"
       "  --ordering=fifo|reads-first|writes-first   g-2PL FL order (fifo)\n"
       "  --charged-abort-notice   charge one latency for abort notices\n"
@@ -75,50 +106,83 @@ bool ParseFlag(const std::string& arg, Flags* flags) {
     } else if (name == "o2pl") {
       config.protocol = gtpl::proto::Protocol::kO2pl;
     } else {
-      return false;
+      return BadValue("--protocol", v1);
     }
   } else if (const char* v2 = value_of("--clients=")) {
-    config.num_clients = std::atoi(v2);
+    return ParseInt32Flag("--clients", v2, &config.num_clients);
   } else if (const char* v3 = value_of("--latency=")) {
-    config.latency = std::atoll(v3);
+    return ParseInt64Flag("--latency", v3, &config.latency);
   } else if (const char* v4 = value_of("--jitter=")) {
-    config.latency_jitter = std::atoll(v4);
+    return ParseInt64Flag("--jitter", v4, &config.latency_jitter);
   } else if (const char* v5 = value_of("--spread=")) {
-    config.latency_spread = std::atof(v5);
+    return ParseDoubleFlag("--spread", v5, &config.latency_spread);
   } else if (const char* vb = value_of("--bandwidth=")) {
-    config.link_bandwidth = std::atof(vb);
+    return ParseDoubleFlag("--bandwidth", vb, &config.link_bandwidth);
   } else if (arg == "--nic-queue") {
     config.nic_queue = true;
   } else if (const char* vc = value_of("--cross-traffic=")) {
-    config.cross_traffic_load = std::atof(vc);
+    return ParseDoubleFlag("--cross-traffic", vc, &config.cross_traffic_load);
   } else if (const char* v6 = value_of("--items=")) {
-    config.workload.num_items = std::atoi(v6);
+    return ParseInt32Flag("--items", v6, &config.workload.num_items);
   } else if (const char* v7 = value_of("--ops=")) {
-    int lo = 0;
-    int hi = 0;
-    if (std::sscanf(v7, "%d:%d", &lo, &hi) != 2) return false;
+    const char* colon = std::strchr(v7, ':');
+    if (colon == nullptr) return BadValue("--ops", v7);
+    const std::string lo_text(v7, colon);
+    int32_t lo = 0;
+    int32_t hi = 0;
+    if (!ParseInt32Value(lo_text.c_str(), &lo) ||
+        !ParseInt32Value(colon + 1, &hi)) {
+      return BadValue("--ops", v7);
+    }
     config.workload.min_items_per_txn = lo;
     config.workload.max_items_per_txn = hi;
   } else if (const char* v8 = value_of("--read-prob=")) {
-    config.workload.read_prob = std::atof(v8);
+    return ParseDoubleFlag("--read-prob", v8, &config.workload.read_prob);
   } else if (const char* v9 = value_of("--zipf=")) {
-    config.workload.zipf_theta = std::atof(v9);
+    return ParseDoubleFlag("--zipf", v9, &config.workload.zipf_theta);
   } else if (arg == "--sorted") {
     config.workload.sorted_access = true;
   } else if (const char* v10 = value_of("--txns=")) {
-    config.measured_txns = std::atoll(v10);
+    return ParseInt64Flag("--txns", v10, &config.measured_txns);
   } else if (const char* v11 = value_of("--warmup=")) {
-    config.warmup_txns = std::atoll(v11);
+    return ParseInt64Flag("--warmup", v11, &config.warmup_txns);
   } else if (const char* v12 = value_of("--runs=")) {
-    flags->runs = std::atoi(v12);
+    return ParseInt32Flag("--runs", v12, &flags->runs);
   } else if (const char* vj = value_of("--jobs=")) {
-    flags->jobs = std::atoi(vj);
+    int32_t jobs = 0;
+    if (!ParseInt32Flag("--jobs", vj, &jobs)) return false;
+    flags->jobs = jobs;
   } else if (const char* v13 = value_of("--seed=")) {
-    config.seed = static_cast<uint64_t>(std::atoll(v13));
+    int64_t seed = 0;
+    if (!ParseInt64Flag("--seed", v13, &seed)) return false;
+    config.seed = static_cast<uint64_t>(seed);
   } else if (const char* v14 = value_of("--mr1w=")) {
-    config.g2pl.mr1w = std::atoi(v14) != 0;
+    int32_t mr1w = 0;
+    if (!ParseInt32Flag("--mr1w", v14, &mr1w)) return false;
+    config.g2pl.mr1w = mr1w != 0;
   } else if (const char* v15 = value_of("--fl-cap=")) {
-    config.g2pl.max_forward_list_length = std::atoi(v15);
+    return ParseInt32Flag("--fl-cap", v15,
+                          &config.g2pl.max_forward_list_length);
+  } else if (arg == "--adaptive-window") {
+    config.g2pl.adaptive.enabled = true;
+  } else if (const char* va1 = value_of("--adaptive-init=")) {
+    return ParseInt32Flag("--adaptive-init", va1,
+                          &config.g2pl.adaptive.initial_cap);
+  } else if (const char* va2 = value_of("--adaptive-min=")) {
+    return ParseInt32Flag("--adaptive-min", va2,
+                          &config.g2pl.adaptive.min_cap);
+  } else if (const char* va3 = value_of("--adaptive-max=")) {
+    return ParseInt32Flag("--adaptive-max", va3,
+                          &config.g2pl.adaptive.max_cap);
+  } else if (const char* va4 = value_of("--adaptive-shrink=")) {
+    return ParseDoubleFlag("--adaptive-shrink", va4,
+                           &config.g2pl.adaptive.decrease_factor);
+  } else if (const char* va5 = value_of("--adaptive-grow=")) {
+    return ParseInt32Flag("--adaptive-grow", va5,
+                          &config.g2pl.adaptive.increase_step);
+  } else if (const char* va6 = value_of("--adaptive-hysteresis=")) {
+    return ParseInt32Flag("--adaptive-hysteresis", va6,
+                          &config.g2pl.adaptive.hysteresis);
   } else if (arg == "--expand-reads") {
     config.g2pl.expand_read_groups = true;
   } else if (const char* v16 = value_of("--ordering=")) {
@@ -130,13 +194,14 @@ bool ParseFlag(const std::string& arg, Flags* flags) {
     } else if (name == "writes-first") {
       config.g2pl.ordering = gtpl::core::OrderingPolicy::kWritesFirst;
     } else {
-      return false;
+      return BadValue("--ordering", v16);
     }
   } else if (arg == "--charged-abort-notice") {
     config.instant_abort_notice = false;
   } else if (const char* v17 = value_of("--wal-force-delay=")) {
-    config.wal_force_delay = std::atoll(v17);
+    return ParseInt64Flag("--wal-force-delay", v17, &config.wal_force_delay);
   } else {
+    std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
     return false;
   }
   return true;
@@ -181,6 +246,13 @@ int main(int argc, char** argv) {
                 flags.config.nic_queue ? "on" : "off",
                 flags.config.cross_traffic_load);
   }
+  if (flags.config.g2pl.adaptive.enabled) {
+    const gtpl::core::AdaptiveWindowOptions& a = flags.config.g2pl.adaptive;
+    std::printf("adaptive window: cap %d in [%d,%d], shrink %.2f, grow %d, "
+                "hysteresis %d\n",
+                a.initial_cap, a.min_cap, a.max_cap, a.decrease_factor,
+                a.increase_step, a.hysteresis);
+  }
   std::printf("\n");
 
   const gtpl::harness::PointResult point =
@@ -213,6 +285,15 @@ int main(int argc, char** argv) {
   if (flags.config.protocol == gtpl::proto::Protocol::kG2pl) {
     table.AddRow({"mean forward-list length",
                   gtpl::harness::Fmt(point.fl_length.mean, 2)});
+    if (flags.config.g2pl.adaptive.enabled) {
+      table.AddRow({"mean effective cap",
+                    gtpl::harness::Fmt(point.mean_effective_cap, 2)});
+      table.AddRow({"final effective cap",
+                    gtpl::harness::Fmt(point.final_effective_cap, 2)});
+      table.AddRow({"cap increases / decreases",
+                    gtpl::harness::Fmt(point.mean_cap_increases, 1) + " / " +
+                        gtpl::harness::Fmt(point.mean_cap_decreases, 1)});
+    }
   }
   table.AddRow({"committed transactions", std::to_string(point.total_commits)});
   table.AddRow({"aborted transactions", std::to_string(point.total_aborts)});

@@ -14,6 +14,10 @@ WindowManager::WindowManager(int32_t num_items, const G2plOptions& options,
       store_(store),
       callbacks_(std::move(callbacks)),
       items_(static_cast<size_t>(num_items)),
+      adaptive_(options.adaptive.enabled
+                    ? std::make_unique<AdaptiveWindowController>(
+                          num_items, options.adaptive)
+                    : nullptr),
       owned_coord_(coordinator == nullptr ? std::make_unique<ShardCoordinator>()
                                           : nullptr),
       coord_(coordinator == nullptr ? owned_coord_.get() : coordinator) {
@@ -65,6 +69,7 @@ void WindowManager::OnRequest(TxnId txn, SiteId client, ItemId item,
     state.returns_expected = 1;
     state.returns_received = 0;
     state.return_version = -1;
+    NextWindowCap(item);  // a singleton window settles the item's interval
     ++windows_dispatched_;
     ++total_dispatched_requests_;
     callbacks_.dispatch(item, store_->VersionOf(item), state.fl);
@@ -78,10 +83,10 @@ void WindowManager::OnRequest(TxnId txn, SiteId client, ItemId item,
   const bool pure_read_window =
       state.fl != nullptr && state.fl->num_entries() == 1 &&
       state.fl->entry(0).is_read_group;
+  const int32_t expansion_cap = ExpansionCap(item);
   if (options_.expand_read_groups && mode == LockMode::kShared &&
       pure_read_window && !state.has_pending_write &&
-      (options_.max_forward_list_length == 0 ||
-       state.fl->num_members() < options_.max_forward_list_length) &&
+      (expansion_cap == 0 || state.fl->num_members() < expansion_cap) &&
       !ReachesOlderAccessor(item, txn)) {
     coord_->graph_.PromoteRequestEdgesInto(txn);
     AddAccessorOrderEdges(item, txn, /*skip_current_window=*/true);
@@ -131,22 +136,41 @@ bool WindowManager::ResolveCycle(ItemId item, const PendingRequest& request,
       }
       auto it = coord_->txn_client_.find(member);
       GTPL_CHECK(it != coord_->txn_client_.end());
-      AbortTxn(member, it->second);
+      AbortTxn(member, it->second, item);
     }
     std::vector<TxnId> still_reached =
         coord_->graph_.ReachableAmong(request.txn, state.undrained_members);
     if (still_reached.empty()) return true;
     // Structural constraints persist; fall through to aborting the requester.
   }
-  AbortTxn(request.txn, request.client);
+  AbortTxn(request.txn, request.client, item);
   return false;
 }
 
-void WindowManager::AbortTxn(TxnId txn, SiteId client) {
+void WindowManager::AbortTxn(TxnId txn, SiteId client, ItemId decided_at) {
   if (!coord_->aborted_.insert(txn).second) return;  // already aborted
   ++avoidance_aborts_;
+  if (adaptive_ != nullptr && decided_at != kInvalidItem) {
+    adaptive_->OnAbortFeedback(decided_at);
+  }
+  // The coordinator purge below may erase the victim's pending entry at
+  // `decided_at` on this very shard — that is the same signal, not a second
+  // one; purges at other items (or on other shards) still count.
+  const ItemId saved_suppressed = purge_feedback_suppressed_item_;
+  purge_feedback_suppressed_item_ = decided_at;
   coord_->OnTxnAborted(txn);
+  purge_feedback_suppressed_item_ = saved_suppressed;
   callbacks_.abort(txn, client);
+}
+
+int32_t WindowManager::NextWindowCap(ItemId item) {
+  if (adaptive_ == nullptr) return options_.max_forward_list_length;
+  return adaptive_->NextWindowCap(item);
+}
+
+int32_t WindowManager::ExpansionCap(ItemId item) const {
+  if (adaptive_ == nullptr) return options_.max_forward_list_length;
+  return adaptive_->CapFor(item);
 }
 
 void WindowManager::OnTxnAborted(TxnId txn) { coord_->OnTxnAborted(txn); }
@@ -159,7 +183,15 @@ void WindowManager::PurgeAbortedRequest(TxnId txn) {
     auto pos = std::find_if(
         state.pending.begin(), state.pending.end(),
         [txn](const PendingRequest& r) { return r.txn == txn; });
-    if (pos != state.pending.end()) state.pending.erase(pos);
+    if (pos != state.pending.end()) {
+      state.pending.erase(pos);
+      // A queued request evicted by an abort is contention pressure at this
+      // item too — unless the deciding window already charged it here.
+      if (adaptive_ != nullptr &&
+          it->second != purge_feedback_suppressed_item_) {
+        adaptive_->OnAbortFeedback(it->second);
+      }
+    }
     RecomputePendingWriteFlag(state);
     outstanding_request_.erase(it);
   }
@@ -264,12 +296,13 @@ void WindowManager::DispatchWindow(ItemId item) {
   ItemState& state = StateOf(item);
   GTPL_CHECK(state.at_server);
   GTPL_CHECK(!state.pending.empty());
-  // Take up to the cap, in arrival order.
-  const size_t cap = options_.max_forward_list_length == 0
-                         ? state.pending.size()
-                         : std::min(state.pending.size(),
-                                    static_cast<size_t>(
-                                        options_.max_forward_list_length));
+  // Take up to the cap, in arrival order. The cap is the static
+  // max_forward_list_length, or the controller's current per-item value.
+  const int32_t cap_limit = NextWindowCap(item);
+  const size_t cap =
+      cap_limit == 0
+          ? state.pending.size()
+          : std::min(state.pending.size(), static_cast<size_t>(cap_limit));
   std::vector<PendingRequest> batch(state.pending.begin(),
                                     state.pending.begin() +
                                         static_cast<long>(cap));
@@ -285,7 +318,7 @@ void WindowManager::DispatchWindow(ItemId item) {
     kept.reserve(batch.size());
     for (const PendingRequest& r : batch) {
       if (!coord_->graph_.ReachableAmong(r.txn, state.undrained_members).empty()) {
-        AbortTxn(r.txn, r.client);
+        AbortTxn(r.txn, r.client, item);
         ++aborts_at_dispatch_batch_;
       } else {
         kept.push_back(r);
@@ -354,7 +387,7 @@ void WindowManager::DispatchWindow(ItemId item) {
     for (TxnId txn : doomed) {
       auto it = coord_->txn_client_.find(txn);
       GTPL_CHECK(it != coord_->txn_client_.end());
-      AbortTxn(txn, it->second);  // also purges it from state.pending
+      AbortTxn(txn, it->second, item);  // also purges it from state.pending
       ++aborts_at_dispatch_pending_;
     }
   }

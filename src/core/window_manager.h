@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "core/adaptive_window.h"
 #include "core/forward_list.h"
 #include "core/ordering.h"
 #include "core/precedence_graph.h"
@@ -43,6 +44,11 @@ struct G2plOptions {
   /// tries to abort the opposing window member instead of the requester
   /// (the paper's aging mechanism against cyclic restarts).
   int32_t aging_threshold = std::numeric_limits<int32_t>::max();
+
+  /// Online per-item AIMD tuning of the effective forward-list cap
+  /// (DESIGN.md §10). When enabled it replaces `max_forward_list_length`;
+  /// off by default, and off is bit-identical to the static-cap path.
+  AdaptiveWindowOptions adaptive;
 };
 
 class WindowManager;
@@ -180,6 +186,11 @@ class WindowManager {
   /// Mean forward-list length over dispatched windows.
   double MeanForwardListLength() const;
 
+  /// The adaptive cap controller, or null when `adaptive.enabled` is false.
+  const AdaptiveWindowController* adaptive_controller() const {
+    return adaptive_.get();
+  }
+
   const PrecedenceGraph& graph() const { return coord_->graph_; }
   const ShardCoordinator& coordinator() const { return *coord_; }
   bool ItemAtServer(ItemId item) const;
@@ -217,7 +228,18 @@ class WindowManager {
   /// Precondition: item at server, pending not empty.
   void DispatchWindow(ItemId item);
 
-  void AbortTxn(TxnId txn, SiteId client);
+  /// Aborts `txn` as a deadlock-avoidance/aging victim. `decided_at` is the
+  /// item whose window decision chose the victim; it receives the adaptive
+  /// controller's abort feedback (kInvalidItem when the decision has no item
+  /// context, e.g. an engine-driven external abort).
+  void AbortTxn(TxnId txn, SiteId client, ItemId decided_at);
+
+  /// The effective forward-list cap for a new window of `item` (settling
+  /// the controller's interval accounting when adaptive), 0 = unbounded.
+  int32_t NextWindowCap(ItemId item);
+
+  /// The cap a read-group expansion of `item` must honor (pure read).
+  int32_t ExpansionCap(ItemId item) const;
 
   /// Coordinator hook: removes `txn`'s single pending (queued) request, if
   /// this shard holds it.
@@ -245,6 +267,12 @@ class WindowManager {
   db::DataStore* store_;
   Callbacks callbacks_;
   std::vector<ItemState> items_;
+  // Non-null iff options_.adaptive.enabled; tunes the per-item cap.
+  std::unique_ptr<AdaptiveWindowController> adaptive_;
+  // While AbortTxn runs the coordinator purge for a decision made at this
+  // item, the purge of the victim's own pending entry at the same item must
+  // not charge a second feedback signal (the decision already did).
+  ItemId purge_feedback_suppressed_item_ = kInvalidItem;
   std::unique_ptr<ShardCoordinator> owned_coord_;  // null when shared
   ShardCoordinator* coord_;
   // txn -> items whose current window lists it as (undrained) member.

@@ -1,24 +1,40 @@
 #include "harness/cli.h"
 
+#include <charconv>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <system_error>
 
 #include "exec/thread_pool.h"
 
 namespace gtpl::harness {
 namespace {
 
-bool ParseInt64(const char* text, int64_t* out) {
-  char* end = nullptr;
-  const long long value = std::strtoll(text, &end, 10);
-  if (end == text || *end != '\0') return false;
+template <typename T>
+bool ParseNumber(const char* text, T* out) {
+  if (text == nullptr || *text == '\0') return false;
+  const char* end = text + std::strlen(text);
+  T value{};
+  const std::from_chars_result result = std::from_chars(text, end, value);
+  if (result.ec != std::errc() || result.ptr != end) return false;
   *out = value;
   return true;
 }
 
 }  // namespace
+
+bool ParseInt32Value(const char* text, int32_t* out) {
+  return ParseNumber(text, out);
+}
+
+bool ParseInt64Value(const char* text, int64_t* out) {
+  return ParseNumber(text, out);
+}
+
+bool ParseDoubleValue(const char* text, double* out) {
+  return ParseNumber(text, out);
+}
 
 Status ParseCli(int argc, char** argv, CliOptions* options) {
   for (int i = 1; i < argc; ++i) {
@@ -30,29 +46,29 @@ Status ParseCli(int argc, char** argv, CliOptions* options) {
     };
     int64_t value = 0;
     if (const char* v = value_of("--txns=")) {
-      if (!ParseInt64(v, &value) || value < 1) {
+      if (!ParseInt64Value(v, &value) || value < 1) {
         return Status::InvalidArgument("bad --txns");
       }
       options->scale.measured_txns = value;
     } else if (const char* v2 = value_of("--warmup=")) {
-      if (!ParseInt64(v2, &value) || value < 0) {
+      if (!ParseInt64Value(v2, &value) || value < 0) {
         return Status::InvalidArgument("bad --warmup");
       }
       options->scale.warmup_txns = value;
     } else if (const char* v3 = value_of("--runs=")) {
-      if (!ParseInt64(v3, &value) || value < 1 || value > 100) {
+      if (!ParseInt64Value(v3, &value) || value < 1 || value > 100) {
         return Status::InvalidArgument("bad --runs");
       }
       options->scale.runs = static_cast<int32_t>(value);
     } else if (const char* v4 = value_of("--seed=")) {
-      if (!ParseInt64(v4, &value) || value < 0) {
+      if (!ParseInt64Value(v4, &value) || value < 0) {
         return Status::InvalidArgument("bad --seed");
       }
       options->scale.base_seed = static_cast<uint64_t>(value);
     } else if (const char* v5 = value_of("--csv=")) {
       options->csv_path = v5;
     } else if (const char* v6 = value_of("--jobs=")) {
-      if (!ParseInt64(v6, &value) || value < 1 || value > 4096) {
+      if (!ParseInt64Value(v6, &value) || value < 1 || value > 4096) {
         return Status::InvalidArgument("bad --jobs");
       }
       options->jobs = static_cast<int>(value);

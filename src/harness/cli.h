@@ -25,6 +25,14 @@ struct CliOptions {
   int jobs = 0;  // 0 = auto (GTPL_JOBS env, else hardware threads)
 };
 
+/// Strict numeric parsing for CLI flag values (std::from_chars; the whole
+/// token must be consumed, no leading whitespace, no trailing junk).
+/// Returns false — leaving *out untouched — on empty, malformed, or
+/// overflowing input, where the atoi/atof family silently yields 0.
+bool ParseInt32Value(const char* text, int32_t* out);
+bool ParseInt64Value(const char* text, int64_t* out);
+bool ParseDoubleValue(const char* text, double* out);
+
 /// Parses argv. On error prints usage to stderr and returns a non-ok status.
 Status ParseCli(int argc, char** argv, CliOptions* options);
 

@@ -39,6 +39,10 @@ PointResult AggregateReplications(const std::vector<ReplicaRun>& runs) {
   double messages = 0.0;
   double payload = 0.0;
   double expansions = 0.0;
+  double mean_cap = 0.0;
+  double final_cap = 0.0;
+  double cap_increases = 0.0;
+  double cap_decreases = 0.0;
   double cross_pct = 0.0;
   double participants = 0.0;
   double queue_delay = 0.0;
@@ -69,6 +73,10 @@ PointResult AggregateReplications(const std::vector<ReplicaRun>& runs) {
       participants += result.commit_participants.mean();
       ++cross_runs;
     }
+    mean_cap += result.mean_effective_cap;
+    final_cap += result.final_effective_cap;
+    cap_increases += static_cast<double>(result.cap_increases);
+    cap_decreases += static_cast<double>(result.cap_decreases);
     queue_delay += result.network.sender_queue_delay.mean() +
                    result.network.receiver_queue_delay.mean();
     queue_p99 += result.queue_delay_p99;
@@ -82,6 +90,10 @@ PointResult AggregateReplications(const std::vector<ReplicaRun>& runs) {
   out.mean_messages_per_commit = messages / runs_count;
   out.mean_payload_per_commit = payload / runs_count;
   out.expansions_per_commit = expansions / runs_count;
+  out.mean_effective_cap = mean_cap / runs_count;
+  out.final_effective_cap = final_cap / runs_count;
+  out.mean_cap_increases = cap_increases / runs_count;
+  out.mean_cap_decreases = cap_decreases / runs_count;
   out.cross_server_pct = cross_pct / runs_count;
   out.mean_commit_participants =
       cross_runs > 0 ? participants / static_cast<double>(cross_runs) : 0.0;

@@ -29,6 +29,13 @@ struct PointResult {
   double queue_delay_p99 = 0.0;
   double mean_link_utilization = 0.0;
   double expansions_per_commit = 0.0;  // g-2PL read-group expansions
+  /// Adaptive-window controller (g-2PL with adaptive enabled, 0 otherwise):
+  /// mean cap consulted per dispatched window, mean end-of-run per-item cap,
+  /// and mean controller adjustments (cap moves) per replication.
+  double mean_effective_cap = 0.0;
+  double final_effective_cap = 0.0;
+  double mean_cap_increases = 0.0;
+  double mean_cap_decreases = 0.0;
   /// Sharded runs: % of measured commits that ran cross-server 2PC, and the
   /// mean number of participant servers per such commit (0 when unsharded).
   double cross_server_pct = 0.0;

@@ -310,6 +310,12 @@ void G2plEngine::FillProtocolMetrics(RunResult* result) {
   result->windows_dispatched = wm_->windows_dispatched();
   result->mean_forward_list_length = wm_->MeanForwardListLength();
   result->read_group_expansions = wm_->expansions();
+  if (const core::AdaptiveWindowController* ctl = wm_->adaptive_controller()) {
+    result->mean_effective_cap = ctl->MeanEffectiveCap();
+    result->final_effective_cap = ctl->FinalEffectiveCap();
+    result->cap_increases = ctl->cap_increases();
+    result->cap_decreases = ctl->cap_decreases();
+  }
 }
 
 }  // namespace gtpl::proto

@@ -64,6 +64,16 @@ struct RunResult {
   double mean_forward_list_length = 0.0;
   int64_t read_group_expansions = 0;
 
+  // Adaptive collection-window controller (g-2PL with
+  // g2pl.adaptive.enabled; all 0 otherwise). `mean_effective_cap` averages
+  // the cap consulted at every window dispatch; `final_effective_cap`
+  // averages the end-of-run cap over items that dispatched at least one
+  // window; the counters tally caps that actually moved.
+  double mean_effective_cap = 0.0;
+  double final_effective_cap = 0.0;
+  int64_t cap_increases = 0;
+  int64_t cap_decreases = 0;
+
   // Sharding specifics (0 / empty unless num_servers > 1). A commit is
   // cross-server when the transaction touched items on more than one
   // server and therefore ran the two-phase commit path.

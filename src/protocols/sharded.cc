@@ -483,15 +483,35 @@ void ShardedG2plEngine::OnCommitDecision(int32_t shard, TxnId txn) {
 
 void ShardedG2plEngine::FillProtocolMetrics(RunResult* result) {
   int64_t requests = 0;
+  int64_t cap_samples = 0;
+  double cap_sample_sum = 0.0;
+  int64_t touched_items = 0;
+  double final_cap_sum = 0.0;
   for (const auto& wm : wms_) {
     result->windows_dispatched += wm->windows_dispatched();
     result->read_group_expansions += wm->expansions();
     requests += wm->total_dispatched_requests();
+    if (const core::AdaptiveWindowController* ctl =
+            wm->adaptive_controller()) {
+      cap_samples += ctl->windows_sampled();
+      cap_sample_sum += ctl->cap_sample_sum();
+      touched_items += ctl->TouchedItems();
+      final_cap_sum += ctl->FinalCapSum();
+      result->cap_increases += ctl->cap_increases();
+      result->cap_decreases += ctl->cap_decreases();
+    }
   }
   result->mean_forward_list_length =
       result->windows_dispatched > 0
           ? static_cast<double>(requests) /
                 static_cast<double>(result->windows_dispatched)
+          : 0.0;
+  result->mean_effective_cap =
+      cap_samples > 0 ? cap_sample_sum / static_cast<double>(cap_samples)
+                      : 0.0;
+  result->final_effective_cap =
+      touched_items > 0
+          ? final_cap_sum / static_cast<double>(touched_items)
           : 0.0;
   result->cross_server_commits = cross_server_commits_;
   result->commit_participants = commit_participants_;

@@ -1,0 +1,207 @@
+// Standing equivalence suite for the adaptive collection-window controller
+// (ISSUE 4 acceptance): with `g2pl.adaptive.enabled == false` every engine
+// must be bit-identical to the pre-controller code, even when the adaptive
+// knobs are set — the gate is the single `enabled` flag. A second family
+// pins the "neutral-armed" identity: a controller pinned to a single cap
+// (min == max == initial == C) behaves exactly like the static cap C, so
+// the controller's dispatch-path plumbing provably adds no behavior of its
+// own. Finally, adaptive runs themselves are deterministic, single-server
+// and 4-way sharded.
+
+#include <gtest/gtest.h>
+
+#include "protocols/engine.h"
+#include "protocols/sharded.h"
+
+namespace gtpl::proto {
+namespace {
+
+void ExpectSameWelford(const stats::Welford& a, const stats::Welford& b,
+                       const char* what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  EXPECT_EQ(a.mean(), b.mean()) << what;
+  EXPECT_EQ(a.variance(), b.variance()) << what;
+  EXPECT_EQ(a.min(), b.min()) << what;
+  EXPECT_EQ(a.max(), b.max()) << what;
+}
+
+/// Field-for-field equality of everything the protocol *does* — metrics,
+/// event counts, traffic, the committed history, and the protocol-event
+/// stream. The adaptive cap telemetry is compared separately (a pinned
+/// controller reports its cap where the static path reports zeros).
+void ExpectSameBehavior(const RunResult& a, const RunResult& b) {
+  ExpectSameWelford(a.response, b.response, "response");
+  ExpectSameWelford(a.op_wait, b.op_wait, "op_wait");
+  ExpectSameWelford(a.abort_age, b.abort_age, "abort_age");
+  ExpectSameWelford(a.abort_held_items, b.abort_held_items,
+                    "abort_held_items");
+  EXPECT_EQ(a.commits, b.commits);
+  EXPECT_EQ(a.aborts, b.aborts);
+  EXPECT_EQ(a.total_commits, b.total_commits);
+  EXPECT_EQ(a.total_aborts, b.total_aborts);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.timed_out, b.timed_out);
+  EXPECT_EQ(a.network.messages, b.network.messages);
+  EXPECT_EQ(a.network.server_to_client, b.network.server_to_client);
+  EXPECT_EQ(a.network.client_to_server, b.network.client_to_server);
+  EXPECT_EQ(a.network.client_to_client, b.network.client_to_client);
+  EXPECT_EQ(a.network.payload_units, b.network.payload_units);
+  EXPECT_EQ(a.windows_dispatched, b.windows_dispatched);
+  EXPECT_EQ(a.mean_forward_list_length, b.mean_forward_list_length);
+  EXPECT_EQ(a.read_group_expansions, b.read_group_expansions);
+  EXPECT_EQ(a.cross_server_commits, b.cross_server_commits);
+  EXPECT_EQ(a.commit_participants.count(), b.commit_participants.count());
+  EXPECT_EQ(a.wal_appends, b.wal_appends);
+  EXPECT_EQ(a.wal_forces, b.wal_forces);
+  EXPECT_EQ(a.wal_retained, b.wal_retained);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (size_t i = 0; i < a.history.size(); ++i) {
+    const CommittedTxn& x = a.history[i];
+    const CommittedTxn& y = b.history[i];
+    EXPECT_EQ(x.id, y.id);
+    EXPECT_EQ(x.client, y.client);
+    EXPECT_EQ(x.start_time, y.start_time);
+    EXPECT_EQ(x.commit_time, y.commit_time);
+    ASSERT_EQ(x.ops.size(), y.ops.size());
+    for (size_t k = 0; k < x.ops.size(); ++k) {
+      EXPECT_EQ(x.ops[k].item, y.ops[k].item);
+      EXPECT_EQ(x.ops[k].mode, y.ops[k].mode);
+      EXPECT_EQ(x.ops[k].version_read, y.ops[k].version_read);
+      EXPECT_EQ(x.ops[k].version_written, y.ops[k].version_written);
+    }
+  }
+  ASSERT_EQ(a.protocol_events.size(), b.protocol_events.size());
+  for (size_t i = 0; i < a.protocol_events.size(); ++i) {
+    const ProtocolEvent& x = a.protocol_events[i];
+    const ProtocolEvent& y = b.protocol_events[i];
+    EXPECT_EQ(x.kind, y.kind) << "event " << i;
+    EXPECT_EQ(x.time, y.time) << "event " << i;
+    EXPECT_EQ(x.txn, y.txn) << "event " << i;
+    EXPECT_EQ(x.item, y.item) << "event " << i;
+    EXPECT_EQ(x.server, y.server) << "event " << i;
+    EXPECT_EQ(x.flag, y.flag) << "event " << i;
+    ASSERT_EQ(x.entries.size(), y.entries.size()) << "event " << i;
+    for (size_t e = 0; e < x.entries.size(); ++e) {
+      EXPECT_EQ(x.entries[e].is_read_group, y.entries[e].is_read_group);
+      EXPECT_EQ(x.entries[e].txns, y.entries[e].txns);
+    }
+  }
+}
+
+void ExpectSameResult(const RunResult& a, const RunResult& b) {
+  ExpectSameBehavior(a, b);
+  EXPECT_EQ(a.mean_effective_cap, b.mean_effective_cap);
+  EXPECT_EQ(a.final_effective_cap, b.final_effective_cap);
+  EXPECT_EQ(a.cap_increases, b.cap_increases);
+  EXPECT_EQ(a.cap_decreases, b.cap_decreases);
+}
+
+SimConfig BaseConfig(Protocol protocol) {
+  SimConfig config;
+  config.protocol = protocol;
+  config.num_clients = 12;
+  config.latency = 50;
+  config.workload.num_items = 15;
+  config.measured_txns = 400;
+  config.warmup_txns = 40;
+  config.seed = 11;
+  config.record_history = true;
+  config.record_protocol_events = true;
+  config.max_sim_time = 2'000'000'000;
+  return config;
+}
+
+/// Sets every adaptive knob to a non-default value but leaves the master
+/// switch off: nothing downstream may change.
+void ArmKnobsDisabled(SimConfig* config) {
+  config->g2pl.adaptive.enabled = false;
+  config->g2pl.adaptive.initial_cap = 2;
+  config->g2pl.adaptive.min_cap = 2;
+  config->g2pl.adaptive.max_cap = 6;
+  config->g2pl.adaptive.decrease_factor = 0.25;
+  config->g2pl.adaptive.increase_step = 3;
+  config->g2pl.adaptive.hysteresis = 1;
+}
+
+TEST(AdaptiveEquivalenceTest, DisabledControllerIsInertForEveryProtocol) {
+  for (Protocol protocol : {Protocol::kS2pl, Protocol::kG2pl, Protocol::kC2pl,
+                            Protocol::kCbl, Protocol::kO2pl}) {
+    SimConfig config = BaseConfig(protocol);
+    const RunResult baseline = RunSimulation(config);
+    ArmKnobsDisabled(&config);
+    const RunResult armed = RunSimulation(config);
+    ASSERT_FALSE(baseline.timed_out) << ToString(protocol);
+    ExpectSameResult(baseline, armed);
+  }
+}
+
+TEST(AdaptiveEquivalenceTest, DisabledControllerIsInertUnderSharding) {
+  for (Protocol protocol : {Protocol::kS2pl, Protocol::kG2pl}) {
+    SimConfig config = BaseConfig(protocol);
+    config.num_servers = 4;
+    const RunResult baseline = RunSimulation(config);
+    ArmKnobsDisabled(&config);
+    const RunResult armed = RunSimulation(config);
+    ASSERT_FALSE(baseline.timed_out) << ToString(protocol);
+    ExpectSameResult(baseline, armed);
+  }
+}
+
+/// A controller pinned to one cap value must reproduce the static cap's
+/// behavior bit for bit — on the plain engine and 4-way sharded, with and
+/// without aging in play.
+void RunPinnedEquivalence(SimConfig config, int32_t cap) {
+  config.g2pl.max_forward_list_length = cap;
+  config.g2pl.adaptive.enabled = false;
+  const RunResult statically_capped = RunSimulation(config);
+  config.g2pl.max_forward_list_length = 0;
+  config.g2pl.adaptive.enabled = true;
+  config.g2pl.adaptive.initial_cap = cap;
+  config.g2pl.adaptive.min_cap = cap;
+  config.g2pl.adaptive.max_cap = cap;
+  const RunResult pinned = RunSimulation(config);
+  ASSERT_FALSE(statically_capped.timed_out);
+  ExpectSameBehavior(statically_capped, pinned);
+  // The pinned controller's telemetry is the pinned cap itself.
+  EXPECT_EQ(pinned.mean_effective_cap, static_cast<double>(cap));
+  EXPECT_EQ(pinned.cap_increases, 0);
+  EXPECT_EQ(pinned.cap_decreases, 0);
+}
+
+TEST(AdaptiveEquivalenceTest, PinnedControllerMatchesStaticCap) {
+  RunPinnedEquivalence(BaseConfig(Protocol::kG2pl), 3);
+}
+
+TEST(AdaptiveEquivalenceTest, PinnedControllerMatchesStaticCapWithAging) {
+  SimConfig config = BaseConfig(Protocol::kG2pl);
+  config.g2pl.aging_threshold = 2;
+  RunPinnedEquivalence(config, 2);
+}
+
+TEST(AdaptiveEquivalenceTest, PinnedControllerMatchesStaticCapSharded) {
+  SimConfig config = BaseConfig(Protocol::kG2pl);
+  config.num_servers = 4;
+  RunPinnedEquivalence(config, 3);
+}
+
+TEST(AdaptiveEquivalenceTest, AdaptiveRunsAreDeterministic) {
+  for (int32_t servers : {1, 4}) {
+    SimConfig config = BaseConfig(Protocol::kG2pl);
+    config.num_servers = servers;
+    config.g2pl.adaptive.enabled = true;
+    config.g2pl.adaptive.initial_cap = 3;
+    config.g2pl.adaptive.max_cap = 8;
+    config.g2pl.aging_threshold = 2;
+    const RunResult a = RunSimulation(config);
+    const RunResult b = RunSimulation(config);
+    ASSERT_FALSE(a.timed_out);
+    ExpectSameResult(a, b);
+    // The controller visibly adapted in this configuration (guards against
+    // a silently disconnected feedback path).
+    EXPECT_GT(a.cap_decreases, 0) << servers << " server(s)";
+  }
+}
+
+}  // namespace
+}  // namespace gtpl::proto

@@ -1,0 +1,277 @@
+// Unit tests for the per-item adaptive forward-list cap controller: AIMD
+// step behavior, clamps, hysteresis, per-item isolation, determinism — and
+// its integration with the WindowManager dispatch/abort paths.
+
+#include "core/adaptive_window.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/window_manager.h"
+#include "db/data_store.h"
+
+namespace gtpl::core {
+namespace {
+
+AdaptiveWindowOptions SmallOptions() {
+  AdaptiveWindowOptions options;
+  options.enabled = true;
+  options.initial_cap = 4;
+  options.min_cap = 1;
+  options.max_cap = 8;
+  options.decrease_factor = 0.5;
+  options.increase_step = 1;
+  options.hysteresis = 2;
+  return options;
+}
+
+TEST(AdaptiveWindowControllerTest, StartsAtInitialCap) {
+  AdaptiveWindowController ctl(3, SmallOptions());
+  EXPECT_EQ(ctl.CapFor(0), 4);
+  EXPECT_EQ(ctl.CapFor(2), 4);
+  EXPECT_EQ(ctl.cap_increases(), 0);
+  EXPECT_EQ(ctl.cap_decreases(), 0);
+  EXPECT_EQ(ctl.windows_sampled(), 0);
+  EXPECT_EQ(ctl.TouchedItems(), 0);
+  EXPECT_DOUBLE_EQ(ctl.MeanEffectiveCap(), 0.0);
+  EXPECT_DOUBLE_EQ(ctl.FinalEffectiveCap(), 0.0);
+}
+
+TEST(AdaptiveWindowControllerTest, AdditiveIncreaseAfterHysteresisWindows) {
+  AdaptiveWindowController ctl(1, SmallOptions());
+  // First window only marks the item; growth needs `hysteresis` *completed*
+  // clean intervals after it.
+  EXPECT_EQ(ctl.NextWindowCap(0), 4);
+  EXPECT_EQ(ctl.NextWindowCap(0), 4);  // 1 clean interval
+  EXPECT_EQ(ctl.NextWindowCap(0), 5);  // 2nd clean interval -> +1
+  EXPECT_EQ(ctl.NextWindowCap(0), 5);
+  EXPECT_EQ(ctl.NextWindowCap(0), 6);
+  EXPECT_EQ(ctl.cap_increases(), 2);
+  EXPECT_EQ(ctl.cap_decreases(), 0);
+}
+
+TEST(AdaptiveWindowControllerTest, MultiplicativeDecreaseOnFeedback) {
+  AdaptiveWindowOptions options = SmallOptions();
+  options.initial_cap = 8;
+  AdaptiveWindowController ctl(1, options);
+  ctl.OnAbortFeedback(0);
+  EXPECT_EQ(ctl.CapFor(0), 4);
+  ctl.OnAbortFeedback(0);
+  EXPECT_EQ(ctl.CapFor(0), 2);
+  ctl.OnAbortFeedback(0);
+  EXPECT_EQ(ctl.CapFor(0), 1);  // floor at min_cap
+  EXPECT_EQ(ctl.cap_decreases(), 3);
+  // At the floor, feedback no longer counts as an adjustment.
+  ctl.OnAbortFeedback(0);
+  EXPECT_EQ(ctl.CapFor(0), 1);
+  EXPECT_EQ(ctl.cap_decreases(), 3);
+}
+
+TEST(AdaptiveWindowControllerTest, FractionalCapFloorsAboveMin) {
+  AdaptiveWindowOptions options = SmallOptions();
+  options.initial_cap = 3;
+  AdaptiveWindowController ctl(1, options);
+  ctl.OnAbortFeedback(0);  // 3 * 0.5 = 1.5
+  EXPECT_EQ(ctl.CapFor(0), 1);
+  EXPECT_EQ(ctl.cap_decreases(), 1);
+}
+
+TEST(AdaptiveWindowControllerTest, FeedbackResetsHysteresisStreak) {
+  AdaptiveWindowController ctl(1, SmallOptions());
+  EXPECT_EQ(ctl.NextWindowCap(0), 4);
+  EXPECT_EQ(ctl.NextWindowCap(0), 4);  // streak 1 of 2
+  ctl.OnAbortFeedback(0);              // cap -> 2, streak reset
+  EXPECT_EQ(ctl.NextWindowCap(0), 2);  // dirty interval: no streak credit
+  EXPECT_EQ(ctl.NextWindowCap(0), 2);  // streak 1
+  EXPECT_EQ(ctl.NextWindowCap(0), 3);  // streak 2 -> grow
+  EXPECT_EQ(ctl.cap_increases(), 1);
+  EXPECT_EQ(ctl.cap_decreases(), 1);
+}
+
+TEST(AdaptiveWindowControllerTest, ClampsAtMaxCap) {
+  AdaptiveWindowOptions options = SmallOptions();
+  options.initial_cap = 8;  // == max_cap
+  options.hysteresis = 1;
+  AdaptiveWindowController ctl(1, options);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ctl.NextWindowCap(0), 8);
+  EXPECT_EQ(ctl.cap_increases(), 0);  // pinned at the ceiling, never "moved"
+}
+
+TEST(AdaptiveWindowControllerTest, ItemsAdaptIndependently) {
+  AdaptiveWindowController ctl(2, SmallOptions());
+  ctl.NextWindowCap(0);
+  ctl.NextWindowCap(1);
+  ctl.OnAbortFeedback(0);
+  EXPECT_EQ(ctl.CapFor(0), 2);
+  EXPECT_EQ(ctl.CapFor(1), 4);
+}
+
+TEST(AdaptiveWindowControllerTest, TracksMeanAndFinalCapOverTouchedItems) {
+  AdaptiveWindowController ctl(4, SmallOptions());
+  EXPECT_EQ(ctl.NextWindowCap(0), 4);
+  EXPECT_EQ(ctl.NextWindowCap(1), 4);
+  ctl.OnAbortFeedback(0);
+  EXPECT_EQ(ctl.NextWindowCap(0), 2);
+  // Samples: 4, 4, 2 -> mean 10/3. Items 2 and 3 never dispatched: excluded
+  // from the final cap (only 0 at cap 2 and 1 at cap 4 count).
+  EXPECT_EQ(ctl.windows_sampled(), 3);
+  EXPECT_DOUBLE_EQ(ctl.MeanEffectiveCap(), 10.0 / 3.0);
+  EXPECT_EQ(ctl.TouchedItems(), 2);
+  EXPECT_DOUBLE_EQ(ctl.FinalCapSum(), 6.0);
+  EXPECT_DOUBLE_EQ(ctl.FinalEffectiveCap(), 3.0);
+}
+
+TEST(AdaptiveWindowControllerTest, ReplayedSignalSequenceIsBitIdentical) {
+  // The controller is pure state: the same signal sequence must reproduce
+  // every sample and counter exactly (the determinism contract the
+  // simulator relies on).
+  const auto drive = [](AdaptiveWindowController* ctl,
+                        std::vector<int32_t>* samples) {
+    for (int round = 0; round < 50; ++round) {
+      const ItemId item = round % 3;
+      samples->push_back(ctl->NextWindowCap(item));
+      if (round % 7 == 0) ctl->OnAbortFeedback(item);
+      if (round % 11 == 0) ctl->OnAbortFeedback((item + 1) % 3);
+    }
+  };
+  AdaptiveWindowController a(3, SmallOptions());
+  AdaptiveWindowController b(3, SmallOptions());
+  std::vector<int32_t> samples_a;
+  std::vector<int32_t> samples_b;
+  drive(&a, &samples_a);
+  drive(&b, &samples_b);
+  EXPECT_EQ(samples_a, samples_b);
+  EXPECT_EQ(a.cap_increases(), b.cap_increases());
+  EXPECT_EQ(a.cap_decreases(), b.cap_decreases());
+  EXPECT_DOUBLE_EQ(a.cap_sample_sum(), b.cap_sample_sum());
+  EXPECT_DOUBLE_EQ(a.FinalCapSum(), b.FinalCapSum());
+}
+
+// ---------------------------------------------------------------------------
+// WindowManager integration
+// ---------------------------------------------------------------------------
+
+class AdaptiveWindowManagerTest : public ::testing::Test {
+ protected:
+  AdaptiveWindowManagerTest() : store_(4) {}
+
+  void Init(const G2plOptions& options) {
+    WindowManager::Callbacks callbacks;
+    callbacks.dispatch = [this](ItemId item, Version version,
+                                std::shared_ptr<const ForwardList> fl) {
+      (void)version;
+      dispatched_sizes_.push_back(fl->num_members());
+      dispatched_items_.push_back(item);
+    };
+    callbacks.abort = [this](TxnId txn, SiteId client) {
+      (void)client;
+      aborts_.push_back(txn);
+    };
+    callbacks.expand = [this](ItemId, Version,
+                              std::shared_ptr<const ForwardList>, TxnId txn,
+                              SiteId, int32_t) { expansions_.push_back(txn); };
+    wm_ = std::make_unique<WindowManager>(4, options, &store_, callbacks);
+  }
+
+  db::DataStore store_;
+  std::unique_ptr<WindowManager> wm_;
+  std::vector<int32_t> dispatched_sizes_;
+  std::vector<ItemId> dispatched_items_;
+  std::vector<TxnId> aborts_;
+  std::vector<TxnId> expansions_;
+};
+
+TEST_F(AdaptiveWindowManagerTest, ControllerAbsentWhenDisabled) {
+  Init(G2plOptions{});
+  EXPECT_EQ(wm_->adaptive_controller(), nullptr);
+}
+
+TEST_F(AdaptiveWindowManagerTest, AdaptiveCapLimitsDispatchBatch) {
+  G2plOptions options;
+  options.adaptive = SmallOptions();
+  options.adaptive.initial_cap = 2;
+  Init(options);
+  ASSERT_NE(wm_->adaptive_controller(), nullptr);
+  wm_->OnRequest(1, 1, 0, LockMode::kExclusive, 0);
+  for (TxnId t = 2; t <= 6; ++t) {
+    wm_->OnRequest(t, static_cast<SiteId>(t), 0, LockMode::kExclusive, 0);
+  }
+  wm_->OnTxnDrained(1);
+  wm_->OnReturn(0, 1);
+  // The second window honors the adaptive cap (2), not the static cap (0 =
+  // unbounded): 2 of the 5 waiters are granted, 3 stay pending.
+  ASSERT_EQ(dispatched_sizes_.size(), 2u);
+  EXPECT_EQ(dispatched_sizes_[1], 2);
+  EXPECT_EQ(wm_->PendingCount(0), 3);
+}
+
+TEST_F(AdaptiveWindowManagerTest, DispatchAbortFeedbackShrinksItemCap) {
+  // A deadlock resolved by the dispatch-time pending sweep, not at request
+  // time: T4 structurally precedes T2 (item 1's grant order), then queues
+  // for item 0 behind T2 and T3. With the cap at 2, the batch [T2 T3] goes
+  // out and the leftover T4 already precedes a batch member — it is aborted
+  // at dispatch, and the controller shrinks *item 0's* cap.
+  G2plOptions options;
+  options.adaptive = SmallOptions();
+  options.adaptive.initial_cap = 2;
+  Init(options);
+  wm_->OnRequest(4, 4, 1, LockMode::kExclusive, 0);  // T4 holds item 1
+  wm_->OnRequest(1, 1, 0, LockMode::kExclusive, 0);  // T1 holds item 0
+  wm_->OnRequest(2, 2, 1, LockMode::kExclusive, 0);  // T2 pending item 1
+  wm_->OnReturn(1, 1);  // [W{T2}] at item 1: structural edge T4 -> T2
+  wm_->OnRequest(2, 2, 0, LockMode::kExclusive, 0);  // T2 pending item 0
+  wm_->OnRequest(3, 3, 0, LockMode::kExclusive, 0);  // T3 pending item 0
+  wm_->OnRequest(4, 4, 0, LockMode::kExclusive, 0);  // T4 queues third
+  EXPECT_EQ(wm_->adaptive_controller()->CapFor(0), 2);
+  EXPECT_TRUE(aborts_.empty());
+  wm_->OnReturn(0, 1);  // batch [T2 T3]; leftover T4 precedes T2: doomed
+  ASSERT_EQ(aborts_.size(), 1u);
+  EXPECT_EQ(aborts_[0], 4);
+  EXPECT_EQ(wm_->aborts_at_dispatch_pending(), 1);
+  EXPECT_EQ(wm_->aborts_at_dispatch_batch(), 0);
+  ASSERT_FALSE(dispatched_sizes_.empty());
+  EXPECT_EQ(dispatched_sizes_.back(), 2);
+  EXPECT_EQ(wm_->PendingCount(0), 0);
+  // One multiplicative decrease at item 0; item 1 is untouched.
+  EXPECT_EQ(wm_->adaptive_controller()->CapFor(0), 1);
+  EXPECT_EQ(wm_->adaptive_controller()->CapFor(1), 2);
+  EXPECT_EQ(wm_->adaptive_controller()->cap_decreases(), 1);
+}
+
+TEST_F(AdaptiveWindowManagerTest, RequestAbortFeedbackChargesDecisionItem) {
+  // The paper's read-deadlock shape (§3.3): the cycle closes at request
+  // time on item 0, so item 0's controller takes the hit.
+  G2plOptions options;
+  options.adaptive = SmallOptions();
+  Init(options);
+  wm_->OnRequest(1, 1, 0, LockMode::kShared, 0);
+  wm_->OnRequest(2, 2, 1, LockMode::kShared, 0);
+  wm_->OnRequest(1, 1, 1, LockMode::kShared, 0);  // T1 waits for item 1
+  wm_->OnRequest(2, 2, 0, LockMode::kShared, 0);  // closes the cycle
+  ASSERT_EQ(aborts_.size(), 1u);
+  EXPECT_EQ(wm_->adaptive_controller()->cap_decreases(), 1);
+  EXPECT_EQ(wm_->adaptive_controller()->CapFor(0), 2);
+  EXPECT_EQ(wm_->adaptive_controller()->CapFor(1), 4);
+}
+
+TEST_F(AdaptiveWindowManagerTest, ExpansionHonorsAdaptiveCap) {
+  G2plOptions options;
+  options.expand_read_groups = true;
+  options.adaptive = SmallOptions();
+  options.adaptive.initial_cap = 2;
+  options.adaptive.min_cap = 2;  // keep the cap pinned at 2
+  options.adaptive.max_cap = 2;
+  Init(options);
+  wm_->OnRequest(1, 1, 0, LockMode::kShared, 0);
+  wm_->OnRequest(2, 2, 0, LockMode::kShared, 0);  // expands to 2 members
+  EXPECT_EQ(wm_->PendingCount(0), 0);
+  EXPECT_EQ(wm_->expansions(), 1);
+  wm_->OnRequest(3, 3, 0, LockMode::kShared, 0);  // cap reached: must queue
+  EXPECT_EQ(wm_->expansions(), 1);
+  EXPECT_EQ(wm_->PendingCount(0), 1);
+}
+
+}  // namespace
+}  // namespace gtpl::core

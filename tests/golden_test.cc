@@ -175,5 +175,56 @@ TEST(GoldenTest, ShardingGrid) {
   CompareOrUpdate("sharding.golden", table.ToCsv());
 }
 
+TEST(GoldenTest, AdaptiveWindowGrid) {
+  // Shrunk version of bench_ext_adaptive's grid: Zipf skew x cap in the
+  // write-heavy aged regime, static caps against the adaptive controller
+  // (cap -1), single-server and 2-way sharded adaptive points. Pins both
+  // the engine metrics and the controller telemetry.
+  std::vector<proto::SimConfig> points;
+  struct Row {
+    double zipf;
+    int32_t cap;
+    int32_t servers;
+  };
+  std::vector<Row> rows;
+  for (double zipf : {0.0, 1.1}) {
+    for (int32_t cap : {1, 3, 0, -1}) {
+      for (int32_t servers : {1, 2}) {
+        if (cap != -1 && servers != 1) continue;  // shard only the adaptive rows
+        proto::SimConfig config = TinyBaseConfig();
+        config.protocol = proto::Protocol::kG2pl;
+        config.latency = 100;
+        config.num_servers = servers;
+        config.workload.read_prob = 0.2;
+        config.workload.zipf_theta = zipf;
+        config.g2pl.aging_threshold = 2;
+        if (cap == -1) {
+          config.g2pl.adaptive.enabled = true;
+        } else {
+          config.g2pl.max_forward_list_length = cap;
+        }
+        points.push_back(config);
+        rows.push_back({zipf, cap, servers});
+      }
+    }
+  }
+  const SweepResult sweep = RunSweep(points, /*runs=*/2, /*jobs=*/2);
+  Table table({"zipf", "cap", "servers", "resp", "abort%", "fl_len", "eff_cap",
+               "final_cap", "grows", "shrinks"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const PointResult& point = sweep.points[i];
+    EXPECT_FALSE(point.any_timed_out);
+    table.AddRow({Fmt(rows[i].zipf, 1),
+                  rows[i].cap == -1 ? "adapt" : std::to_string(rows[i].cap),
+                  std::to_string(rows[i].servers), Fmt(point.response.mean, 3),
+                  Fmt(point.abort_pct.mean, 3), Fmt(point.fl_length.mean, 3),
+                  Fmt(point.mean_effective_cap, 3),
+                  Fmt(point.final_effective_cap, 3),
+                  Fmt(point.mean_cap_increases, 1),
+                  Fmt(point.mean_cap_decreases, 1)});
+  }
+  CompareOrUpdate("adaptive.golden", table.ToCsv());
+}
+
 }  // namespace
 }  // namespace gtpl::harness

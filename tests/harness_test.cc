@@ -150,6 +150,43 @@ TEST(CliTest, RejectsOutOfRangeAndMalformedFlags) {
   }
 }
 
+// The shared strict value parsers: the whole token must parse, so the
+// `--flag=abc` inputs the atoi family silently read as 0 are rejected.
+TEST(CliTest, StrictValueParsersRejectPartialAndMalformedInput) {
+  int32_t i32 = -7;
+  int64_t i64 = -7;
+  double d = -7.0;
+
+  EXPECT_TRUE(ParseInt32Value("42", &i32));
+  EXPECT_EQ(i32, 42);
+  EXPECT_TRUE(ParseInt32Value("-3", &i32));
+  EXPECT_EQ(i32, -3);
+  EXPECT_TRUE(ParseInt64Value("60000000000", &i64));
+  EXPECT_EQ(i64, 60'000'000'000);
+  EXPECT_TRUE(ParseDoubleValue("0.5", &d));
+  EXPECT_DOUBLE_EQ(d, 0.5);
+  EXPECT_TRUE(ParseDoubleValue("1e3", &d));
+  EXPECT_DOUBLE_EQ(d, 1000.0);
+
+  for (const char* bad : {"", "abc", "12abc", "4.5", " 5", "5 ", "0x10",
+                          "++1", "2147483648" /* int32 overflow */}) {
+    i32 = -7;
+    EXPECT_FALSE(ParseInt32Value(bad, &i32)) << "'" << bad << "'";
+    EXPECT_EQ(i32, -7) << "'" << bad << "' must leave output untouched";
+  }
+  for (const char* bad : {"", "1e3" /* no exponents for ints */, "9.9",
+                          "123abc", "99999999999999999999" /* overflow */}) {
+    i64 = -7;
+    EXPECT_FALSE(ParseInt64Value(bad, &i64)) << "'" << bad << "'";
+    EXPECT_EQ(i64, -7) << "'" << bad << "' must leave output untouched";
+  }
+  for (const char* bad : {"", "abc", "0.5x", " 0.5", "1.2.3"}) {
+    d = -7.0;
+    EXPECT_FALSE(ParseDoubleValue(bad, &d)) << "'" << bad << "'";
+    EXPECT_DOUBLE_EQ(d, -7.0) << "'" << bad << "' must leave output untouched";
+  }
+}
+
 // A bad flag rejects the whole invocation even when earlier flags parsed,
 // and --help surfaces as a non-ok status so callers print usage and exit.
 TEST(CliTest, StopsAtFirstBadFlagAndTreatsHelpAsExit) {

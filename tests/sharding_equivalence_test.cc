@@ -44,6 +44,10 @@ void ExpectSameResult(const RunResult& single, const RunResult& sharded) {
   EXPECT_EQ(single.mean_forward_list_length,
             sharded.mean_forward_list_length);
   EXPECT_EQ(single.read_group_expansions, sharded.read_group_expansions);
+  EXPECT_EQ(single.mean_effective_cap, sharded.mean_effective_cap);
+  EXPECT_EQ(single.final_effective_cap, sharded.final_effective_cap);
+  EXPECT_EQ(single.cap_increases, sharded.cap_increases);
+  EXPECT_EQ(single.cap_decreases, sharded.cap_decreases);
   EXPECT_EQ(single.cross_server_commits, sharded.cross_server_commits);
   EXPECT_EQ(single.commit_participants.count(),
             sharded.commit_participants.count());
@@ -127,6 +131,18 @@ TEST(ShardingEquivalenceTest, G2plReadGroupExpansion) {
 TEST(ShardingEquivalenceTest, G2plWindowCapAndAging) {
   SimConfig config = BaseConfig(Protocol::kG2pl);
   config.g2pl.max_forward_list_length = 3;
+  config.g2pl.aging_threshold = 2;
+  RunEquivalence(config);
+}
+
+// The adaptive cap controller must behave identically whether the item
+// space is served by the single-server engine or a 1-shard group: both
+// routes feed abort signals through the (shared) coordinator purge path.
+TEST(ShardingEquivalenceTest, G2plAdaptiveWindow) {
+  SimConfig config = BaseConfig(Protocol::kG2pl);
+  config.g2pl.adaptive.enabled = true;
+  config.g2pl.adaptive.initial_cap = 3;
+  config.g2pl.adaptive.max_cap = 8;
   config.g2pl.aging_threshold = 2;
   RunEquivalence(config);
 }

@@ -223,6 +223,78 @@ TEST_F(WindowManagerTest, MeanForwardListLengthTracksBatches) {
   EXPECT_DOUBLE_EQ(wm_->MeanForwardListLength(), 1.5);
 }
 
+TEST_F(WindowManagerTest, MeanForwardListLengthExcludesDispatchAbortedMembers) {
+  // Regression (ISSUE 4 satellite): a request aborted at dispatch time never
+  // ships in a window, so it must not count into the mean forward-list
+  // length. T2 structurally precedes T3 (item 1's grant order: T2's window
+  // went out before T3's), then both queue for item 0. With the cap at 1,
+  // the batch is [T3] and the leftover T2 already precedes a batch member —
+  // it is deadlocked and aborted by the dispatch-time pending sweep.
+  G2plOptions options;
+  options.max_forward_list_length = 1;
+  Init(options);
+  wm_->OnRequest(1, 1, 0, LockMode::kExclusive, 0);  // T1 holds item 0
+  wm_->OnRequest(2, 2, 1, LockMode::kExclusive, 0);  // T2 holds item 1
+  wm_->OnRequest(3, 3, 1, LockMode::kExclusive, 0);  // T3 pending item 1
+  wm_->OnReturn(1, 1);  // [W{T3}] at item 1: structural edge T2 -> T3
+  wm_->OnRequest(3, 3, 0, LockMode::kExclusive, 0);  // T3 pending item 0
+  wm_->OnRequest(2, 2, 0, LockMode::kExclusive, 0);  // T2 queues second
+  EXPECT_TRUE(aborts_.empty());
+  wm_->OnReturn(0, 1);  // batch [T3]; leftover T2 precedes T3: doomed
+  ASSERT_EQ(aborts_.size(), 1u);
+  EXPECT_EQ(aborts_[0], 2);
+  EXPECT_EQ(wm_->aborts_at_dispatch_pending(), 1);
+  EXPECT_EQ(wm_->PendingCount(0), 0);
+  // Four singleton windows actually went out; the aborted request never
+  // shipped and must not inflate the mean.
+  ASSERT_EQ(dispatches_.size(), 4u);
+  EXPECT_EQ(dispatches_[3].fl->DebugString(), "[W{T3}]");
+  EXPECT_EQ(wm_->windows_dispatched(), 4);
+  EXPECT_EQ(wm_->total_dispatched_requests(), 4);
+  EXPECT_DOUBLE_EQ(wm_->MeanForwardListLength(), 1.0);
+}
+
+TEST_F(WindowManagerTest, AgingAbortsCrossShardMemberAndPurgesItsRequests) {
+  // Regression (ISSUE 4 satellite): two shard managers behind one
+  // coordinator. An aging decision on shard A aborts a member whose pending
+  // request sits on shard B — the coordinator purge must clean shard B's
+  // queue, exactly as it cleans the deciding shard's.
+  ShardCoordinator coord;
+  db::DataStore store_b(4);
+  std::vector<TxnId> aborts_b;
+  WindowManager::Callbacks callbacks_a;
+  callbacks_a.dispatch = [](ItemId, Version,
+                            std::shared_ptr<const ForwardList>) {};
+  callbacks_a.abort = [this](TxnId txn, SiteId) { aborts_.push_back(txn); };
+  WindowManager::Callbacks callbacks_b = callbacks_a;
+  callbacks_b.abort = [&aborts_b](TxnId txn, SiteId) {
+    aborts_b.push_back(txn);
+  };
+  G2plOptions options;
+  options.aging_threshold = 1;
+  WindowManager wm_a(4, options, &store_, callbacks_a, &coord);
+  WindowManager wm_b(4, options, &store_b, callbacks_b, &coord);
+
+  wm_a.OnRequest(2, 2, 0, LockMode::kExclusive, 0);  // T2 holds A:0
+  wm_b.OnRequest(3, 3, 0, LockMode::kExclusive, 0);  // T3 holds B:0
+  wm_b.OnRequest(2, 2, 0, LockMode::kExclusive, 0);  // T2 pending on B:0
+  EXPECT_EQ(wm_b.PendingCount(0), 1);
+  // T3's next request closes a cycle at A:0 (edge T3 -> T2 lives in the
+  // shared graph); its restart count exceeds the aging threshold, so the
+  // opposing member T2 is the victim, decided on shard A.
+  wm_a.OnRequest(3, 3, 0, LockMode::kExclusive, /*restart_count=*/5);
+  ASSERT_EQ(aborts_.size(), 1u);
+  EXPECT_EQ(aborts_[0], 2);
+  EXPECT_TRUE(aborts_b.empty());  // abort callback fires on the deciding shard
+  // The cross-shard purge removed T2's pending request from shard B.
+  EXPECT_EQ(wm_b.PendingCount(0), 0);
+  // The aged requester survives and queues behind the (aborted) window.
+  EXPECT_EQ(wm_a.PendingCount(0), 1);
+  EXPECT_TRUE(coord.IsAborted(2));
+  EXPECT_FALSE(coord.IsAborted(3));
+  EXPECT_TRUE(coord.graph().IsAcyclic());
+}
+
 TEST_F(WindowManagerTest, StaleRequestFromAbortedTxnIgnored) {
   Init(G2plOptions{});
   wm_->OnRequest(1, 1, 0, LockMode::kExclusive, 0);
