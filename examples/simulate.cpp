@@ -8,11 +8,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "harness/cli.h"
 #include "harness/experiment.h"
 #include "harness/table.h"
+#include "obs/export.h"
 #include "protocols/config.h"
 #include "protocols/engine.h"
 
@@ -46,6 +48,8 @@ struct Flags {
   gtpl::proto::SimConfig config;
   int32_t runs = 1;
   int jobs = 1;  // replications run serially unless --jobs raises it
+  std::string trace_path;  // empty = tracing off
+  gtpl::obs::TraceFormat trace_format = gtpl::obs::TraceFormat::kJsonl;
 };
 
 void PrintUsage(const char* prog) {
@@ -54,6 +58,8 @@ void PrintUsage(const char* prog) {
       "usage: %s [flags]\n"
       "  --protocol=s2pl|g2pl|c2pl|cbl|o2pl   (default s2pl)\n"
       "  --clients=N          number of client sites (default 50)\n"
+      "  --servers=N          data servers the items shard across (1)\n"
+      "  --routing=hash|range item-to-shard routing (hash)\n"
       "  --latency=N          one-way network latency, time units (500)\n"
       "  --jitter=N           extra U[0,N] per message (0)\n"
       "  --spread=F           client distance spread in [0,1] (0)\n"
@@ -82,7 +88,11 @@ void PrintUsage(const char* prog) {
       "  --expand-reads       g-2PL read-group expansion (off)\n"
       "  --ordering=fifo|reads-first|writes-first   g-2PL FL order (fifo)\n"
       "  --charged-abort-notice   charge one latency for abort notices\n"
-      "  --wal-force-delay=N  simulated log-force latency (0)\n",
+      "  --wal-force-delay=N  simulated log-force latency (0)\n"
+      "  --trace=PATH         write the structured observability trace there\n"
+      "                       (runs > 1 append .repN per replication)\n"
+      "  --trace-format=jsonl|chrome   trace file format (jsonl; chrome\n"
+      "                       loads into chrome://tracing / Perfetto)\n",
       prog);
 }
 
@@ -110,6 +120,17 @@ bool ParseFlag(const std::string& arg, Flags* flags) {
     }
   } else if (const char* v2 = value_of("--clients=")) {
     return ParseInt32Flag("--clients", v2, &config.num_clients);
+  } else if (const char* vs = value_of("--servers=")) {
+    return ParseInt32Flag("--servers", vs, &config.num_servers);
+  } else if (const char* vr = value_of("--routing=")) {
+    const std::string name = vr;
+    if (name == "hash") {
+      config.shard_routing = gtpl::proto::ShardRouting::kHash;
+    } else if (name == "range") {
+      config.shard_routing = gtpl::proto::ShardRouting::kRange;
+    } else {
+      return BadValue("--routing", vr);
+    }
   } else if (const char* v3 = value_of("--latency=")) {
     return ParseInt64Flag("--latency", v3, &config.latency);
   } else if (const char* v4 = value_of("--jitter=")) {
@@ -200,6 +221,19 @@ bool ParseFlag(const std::string& arg, Flags* flags) {
     config.instant_abort_notice = false;
   } else if (const char* v17 = value_of("--wal-force-delay=")) {
     return ParseInt64Flag("--wal-force-delay", v17, &config.wal_force_delay);
+  } else if (const char* vt = value_of("--trace=")) {
+    if (*vt == '\0') return BadValue("--trace", vt);
+    flags->trace_path = vt;
+    config.obs_trace = true;
+  } else if (const char* vf = value_of("--trace-format=")) {
+    const std::string name = vf;
+    if (name == "jsonl") {
+      flags->trace_format = gtpl::obs::TraceFormat::kJsonl;
+    } else if (name == "chrome") {
+      flags->trace_format = gtpl::obs::TraceFormat::kChrome;
+    } else {
+      return BadValue("--trace-format", vf);
+    }
   } else {
     std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
     return false;
@@ -246,6 +280,11 @@ int main(int argc, char** argv) {
                 flags.config.nic_queue ? "on" : "off",
                 flags.config.cross_traffic_load);
   }
+  if (flags.config.num_servers > 1) {
+    std::printf("%d servers, %s routing, client-coordinated 2PC\n",
+                flags.config.num_servers,
+                gtpl::proto::ToString(flags.config.shard_routing));
+  }
   if (flags.config.g2pl.adaptive.enabled) {
     const gtpl::core::AdaptiveWindowOptions& a = flags.config.g2pl.adaptive;
     std::printf("adaptive window: cap %d in [%d,%d], shrink %.2f, grow %d, "
@@ -269,6 +308,22 @@ int main(int argc, char** argv) {
   table.AddRow({"abort percentage",
                 gtpl::harness::FmtCi(point.abort_pct.mean,
                                      point.abort_pct.ci_half_width, 2)});
+  table.AddRow({"response p50 / p95 / p99",
+                gtpl::harness::Fmt(point.response_p50, 0) + " / " +
+                    gtpl::harness::Fmt(point.response_p95, 0) + " / " +
+                    gtpl::harness::Fmt(point.response_p99, 0)});
+  table.AddRow({"  lock wait",
+                gtpl::harness::Fmt(point.mean_lock_wait, 1)});
+  table.AddRow({"  propagation",
+                gtpl::harness::Fmt(point.mean_propagation, 1)});
+  table.AddRow({"  transmission+queueing",
+                gtpl::harness::Fmt(point.mean_queueing, 1)});
+  table.AddRow({"  execution (think)",
+                gtpl::harness::Fmt(point.mean_execution, 1)});
+  table.AddRow({"  commit phase",
+                gtpl::harness::Fmt(point.mean_commit_phase, 1)});
+  table.AddRow({"op wait p99",
+                gtpl::harness::Fmt(point.op_wait_p99, 0)});
   table.AddRow({"throughput (commits/1000u)",
                 gtpl::harness::Fmt(point.throughput.mean, 3)});
   table.AddRow({"messages per commit",
@@ -298,6 +353,26 @@ int main(int argc, char** argv) {
   table.AddRow({"committed transactions", std::to_string(point.total_commits)});
   table.AddRow({"aborted transactions", std::to_string(point.total_aborts)});
   table.Print();
+  if (!flags.trace_path.empty()) {
+    for (size_t rep = 0; rep < point.traces.size(); ++rep) {
+      const std::string path =
+          point.traces.size() == 1
+              ? flags.trace_path
+              : flags.trace_path + ".rep" + std::to_string(rep);
+      std::ofstream out(path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot write trace file %s\n", path.c_str());
+        return 2;
+      }
+      if (flags.trace_format == gtpl::obs::TraceFormat::kChrome) {
+        gtpl::obs::WriteChromeTrace(point.traces[rep], out);
+      } else {
+        gtpl::obs::WriteJsonl(point.traces[rep], out);
+      }
+      std::printf("trace (%zu events) written to %s\n",
+                  point.traces[rep].size(), path.c_str());
+    }
+  }
   if (point.any_timed_out) {
     std::fprintf(stderr, "\nWARNING: at least one replication hit the "
                          "simulation horizon before finishing.\n");

@@ -99,7 +99,7 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", histogram.ToAscii().c_str());
   std::printf("p50 = %.0f   p90 = %.0f   p99 = %.0f time units\n",
-              histogram.Quantile(0.5), histogram.Quantile(0.9),
-              histogram.Quantile(0.99));
+              histogram.Percentile(0.5), histogram.Percentile(0.9),
+              histogram.Percentile(0.99));
   return 0;
 }

@@ -30,7 +30,7 @@ ReplicaRun RunOneReplica(proto::SimConfig config, uint64_t seed) {
 /// Folds one point's replications, in replication order, into a
 /// PointResult. Serial and order-deterministic by construction, so the
 /// aggregate is bit-identical however the replications were scheduled.
-PointResult AggregateReplications(const std::vector<ReplicaRun>& runs) {
+PointResult AggregateReplications(std::vector<ReplicaRun>& runs) {
   PointResult out;
   std::vector<double> responses;
   std::vector<double> abort_pcts;
@@ -48,9 +48,18 @@ PointResult AggregateReplications(const std::vector<ReplicaRun>& runs) {
   double queue_delay = 0.0;
   double queue_p99 = 0.0;
   double utilization = 0.0;
+  double lock_wait = 0.0;
+  double propagation = 0.0;
+  double queueing = 0.0;
+  double execution = 0.0;
+  double commit_phase = 0.0;
+  double resp_p50 = 0.0;
+  double resp_p95 = 0.0;
+  double resp_p99 = 0.0;
+  double opw_p99 = 0.0;
   int64_t cross_runs = 0;
-  for (const ReplicaRun& run : runs) {
-    const proto::RunResult& result = run.result;
+  for (ReplicaRun& run : runs) {
+    proto::RunResult& result = run.result;
     responses.push_back(result.response.mean());
     abort_pcts.push_back(result.AbortPercent());
     throughputs.push_back(result.Throughput());
@@ -81,6 +90,18 @@ PointResult AggregateReplications(const std::vector<ReplicaRun>& runs) {
                    result.network.receiver_queue_delay.mean();
     queue_p99 += result.queue_delay_p99;
     utilization += result.max_link_utilization;
+    lock_wait += result.span_lock_wait.mean();
+    propagation += result.span_propagation.mean();
+    queueing += result.span_queueing.mean();
+    execution += result.span_execution.mean();
+    commit_phase += result.span_commit.mean();
+    resp_p50 += result.response_hist.Percentile(0.50);
+    resp_p95 += result.response_hist.Percentile(0.95);
+    resp_p99 += result.response_hist.Percentile(0.99);
+    opw_p99 += result.op_wait_hist.Percentile(0.99);
+    if (!result.obs_trace.empty()) {
+      out.traces.push_back(std::move(result.obs_trace));
+    }
   }
   const auto runs_count = static_cast<double>(runs.size());
   out.response = stats::Summarize(responses);
@@ -100,6 +121,15 @@ PointResult AggregateReplications(const std::vector<ReplicaRun>& runs) {
   out.mean_queue_delay = queue_delay / runs_count;
   out.queue_delay_p99 = queue_p99 / runs_count;
   out.mean_link_utilization = utilization / runs_count;
+  out.mean_lock_wait = lock_wait / runs_count;
+  out.mean_propagation = propagation / runs_count;
+  out.mean_queueing = queueing / runs_count;
+  out.mean_execution = execution / runs_count;
+  out.mean_commit_phase = commit_phase / runs_count;
+  out.response_p50 = resp_p50 / runs_count;
+  out.response_p95 = resp_p95 / runs_count;
+  out.response_p99 = resp_p99 / runs_count;
+  out.op_wait_p99 = opw_p99 / runs_count;
   return out;
 }
 
@@ -107,7 +137,7 @@ SweepResult RunSweepImpl(const std::vector<proto::SimConfig>& points,
                          int32_t runs, int jobs, bool mix_point_seeds) {
   GTPL_CHECK_GE(runs, 1);
   exec::SweepRunner<ReplicaRun> runner(jobs);
-  const std::vector<std::vector<ReplicaRun>> grid = runner.Run(
+  std::vector<std::vector<ReplicaRun>> grid = runner.Run(
       points.size(), runs, [&points, mix_point_seeds](size_t point, int32_t rep) {
         const proto::SimConfig& config = points[point];
         const uint64_t point_seed =
@@ -118,7 +148,7 @@ SweepResult RunSweepImpl(const std::vector<proto::SimConfig>& points,
   out.jobs = runner.jobs();
   out.wall_seconds = runner.elapsed_seconds();
   out.points.reserve(grid.size());
-  for (const std::vector<ReplicaRun>& point_runs : grid) {
+  for (std::vector<ReplicaRun>& point_runs : grid) {
     out.points.push_back(AggregateReplications(point_runs));
     out.serial_seconds += out.points.back().wall_seconds;
   }

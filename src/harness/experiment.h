@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "protocols/engine.h"
 #include "stats/replication.h"
 
@@ -40,6 +41,23 @@ struct PointResult {
   /// mean number of participant servers per such commit (0 when unsharded).
   double cross_server_pct = 0.0;
   double mean_commit_participants = 0.0;
+  /// Committed-transaction latency breakdown (DESIGN.md §11), averaged
+  /// across replications. The five phase means sum to response.mean (each
+  /// replication's phases sum exactly to its mean response time).
+  double mean_lock_wait = 0.0;
+  double mean_propagation = 0.0;
+  double mean_queueing = 0.0;
+  double mean_execution = 0.0;
+  double mean_commit_phase = 0.0;
+  /// Response-time / op-wait percentiles: each replication's histogram
+  /// percentile, averaged across replications.
+  double response_p50 = 0.0;
+  double response_p95 = 0.0;
+  double response_p99 = 0.0;
+  double op_wait_p99 = 0.0;
+  /// Per-replication observability traces, in replication order (empty
+  /// unless the config set obs_trace).
+  std::vector<std::vector<obs::TraceEvent>> traces;
   int64_t total_commits = 0;
   int64_t total_aborts = 0;
   bool any_timed_out = false;

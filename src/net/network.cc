@@ -25,6 +25,28 @@ double Network::MaxLinkUtilization(SimTime horizon) const {
   return link_ == nullptr ? 0.0 : link_->MaxUtilization(horizon);
 }
 
+void Network::RunDelivery(const DeliveryInfo& info, const std::string& label,
+                          const std::function<void()>& deliver) {
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    const SimTime service =
+        link_ == nullptr ? 0 : link_->TransmissionDelay(info.payload);
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kMsgDeliver;
+    event.site = info.to;
+    event.peer = info.from;
+    event.payload = static_cast<int64_t>(info.payload);
+    event.label = label;
+    event.d0 = info.tx_start - info.send_time;               // sender queue
+    event.d1 = info.Propagation();                           // propagation
+    event.d2 = info.deliver_time - info.rx_queue_entry - service;
+    event.d3 = service;                                      // transmission
+    tracer_->Emit(std::move(event));
+  }
+  current_delivery_ = info;
+  deliver();
+  current_delivery_.active = false;
+}
+
 void Network::Send(SiteId from, SiteId to, std::string label,
                    std::function<void()> on_deliver, uint64_t payload) {
   const SimTime propagation = latency_->Latency(from, to);
@@ -50,13 +72,35 @@ void Network::Send(SiteId from, SiteId to, std::string label,
       record.deliver_time = now + propagation;
       record.from = from;
       record.to = to;
-      record.label = std::move(label);
+      record.label = label;
       record.payload = payload;
       record.tx_start = now;
       record.rx_queue_entry = now + propagation;
       trace_.push_back(std::move(record));
     }
-    simulator_->Schedule(propagation, std::move(on_deliver));
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      obs::TraceEvent event;
+      event.kind = obs::EventKind::kMsgSend;
+      event.site = from;
+      event.peer = to;
+      event.payload = static_cast<int64_t>(payload);
+      event.label = label;
+      tracer_->Emit(std::move(event));
+    }
+    DeliveryInfo info;
+    info.active = true;
+    info.send_time = now;
+    info.tx_start = now;
+    info.rx_queue_entry = now + propagation;
+    info.deliver_time = now + propagation;
+    info.from = from;
+    info.to = to;
+    info.payload = payload;
+    simulator_->Schedule(propagation,
+                         [this, info, label = std::move(label),
+                          deliver = std::move(on_deliver)] {
+                           RunDelivery(info, label, deliver);
+                         });
     return;
   }
 
@@ -78,16 +122,28 @@ void Network::Send(SiteId from, SiteId to, std::string label,
     record.deliver_time = first_bit_arrival + service;  // patched on arrival
     record.from = from;
     record.to = to;
-    record.label = std::move(label);
+    record.label = label;
     record.payload = payload;
     record.tx_start = tx_start;
     record.rx_queue_entry = first_bit_arrival;
     trace_.push_back(std::move(record));
   }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kMsgSend;
+    event.site = from;
+    event.peer = to;
+    event.payload = static_cast<int64_t>(payload);
+    event.label = label;
+    event.d0 = sender_delay;
+    event.d1 = service;
+    tracer_->Emit(std::move(event));
+  }
 
   simulator_->ScheduleAt(
       first_bit_arrival,
-      [this, to, payload, service, sender_delay, trace_index,
+      [this, from, to, payload, service, sender_delay, trace_index,
+       send_time = now, tx_start, label = std::move(label),
        deliver = std::move(on_deliver), traced = tracing_]() mutable {
         const SimTime arrival = simulator_->Now();
         const SimTime deliver_time = link_->AdmitDownlink(to, payload, arrival);
@@ -98,7 +154,20 @@ void Network::Send(SiteId from, SiteId to, std::string label,
         if (traced && trace_index < trace_.size()) {
           trace_[trace_index].deliver_time = deliver_time;
         }
-        simulator_->ScheduleAt(deliver_time, std::move(deliver));
+        DeliveryInfo info;
+        info.active = true;
+        info.send_time = send_time;
+        info.tx_start = tx_start;
+        info.rx_queue_entry = arrival;
+        info.deliver_time = deliver_time;
+        info.from = from;
+        info.to = to;
+        info.payload = payload;
+        simulator_->ScheduleAt(deliver_time,
+                               [this, info, label = std::move(label),
+                                deliver = std::move(deliver)] {
+                                 RunDelivery(info, label, deliver);
+                               });
       });
 }
 

@@ -10,11 +10,35 @@
 #include "common/types.h"
 #include "net/latency_model.h"
 #include "net/link_model.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "stats/histogram.h"
 #include "stats/welford.h"
 
 namespace gtpl::net {
+
+/// Timing of the delivery being executed *right now*: valid (active) only
+/// for the dynamic extent of a delivery callback, so protocol handlers can
+/// attribute the arriving message's latency (propagation vs. transmission +
+/// NIC queueing) without the transport knowing anything about protocols.
+/// Propagation = rx_queue_entry - tx_start; everything else of
+/// (deliver_time - send_time) is transmission + queueing (zero under the
+/// pure-propagation model).
+struct DeliveryInfo {
+  bool active = false;
+  SimTime send_time = 0;
+  SimTime tx_start = 0;        // uplink service start (sender queue exit)
+  SimTime rx_queue_entry = 0;  // first bit at the receiver downlink
+  SimTime deliver_time = 0;
+  SiteId from = 0;
+  SiteId to = 0;
+  uint64_t payload = 0;
+
+  SimTime Propagation() const { return rx_queue_entry - tx_start; }
+  SimTime Queueing() const {
+    return (deliver_time - send_time) - Propagation();
+  }
+};
 
 /// Statistics a Network keeps about the traffic it carried. Payload is
 /// counted in abstract units (see kControlPayload etc. below): the paper
@@ -102,6 +126,15 @@ class Network {
   void EnableTracing() { tracing_ = true; }
   const std::vector<TraceRecord>& trace() const { return trace_; }
 
+  /// Attaches a structured tracer: every Send emits kMsgSend, every
+  /// delivery kMsgDeliver (with the queueing breakdown in d0..d3). The
+  /// tracer observes only — it never schedules or draws randomness.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Timing of the delivery currently being executed (active only inside a
+  /// delivery callback).
+  const DeliveryInfo& current_delivery() const { return current_delivery_; }
+
   const NetworkStats& stats() const { return stats_; }
 
   /// Distribution of per-message total queueing delay (sender + receiver);
@@ -129,6 +162,13 @@ class Network {
   int32_t num_clients_ = -1;  // -1: no layout declared
   bool tracing_ = false;
   std::vector<TraceRecord> trace_;
+  obs::Tracer* tracer_ = nullptr;
+  DeliveryInfo current_delivery_;
+
+  /// Runs `deliver` with current_delivery_ set to `info` (and the
+  /// kMsgDeliver trace event emitted first).
+  void RunDelivery(const DeliveryInfo& info, const std::string& label,
+                   const std::function<void()>& deliver);
 };
 
 }  // namespace gtpl::net

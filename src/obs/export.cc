@@ -1,0 +1,264 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+namespace gtpl::obs {
+namespace {
+
+void AppendEscaped(const std::string& text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendEvent(const TraceEvent& e, std::string* out) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"seq\":%llu,\"t\":%lld,\"kind\":\"%s\",\"txn\":%lld,\"site\":%d,"
+      "\"peer\":%d,\"item\":%d,\"shard\":%d,\"mode\":%d,\"flag\":%d,"
+      "\"payload\":%lld,\"d0\":%lld,\"d1\":%lld,\"d2\":%lld,\"d3\":%lld,"
+      "\"d4\":%lld,\"label\":\"",
+      static_cast<unsigned long long>(e.seq),
+      static_cast<long long>(e.time), ToString(e.kind),
+      static_cast<long long>(e.txn), e.site, e.peer, e.item, e.shard, e.mode,
+      e.flag ? 1 : 0, static_cast<long long>(e.payload),
+      static_cast<long long>(e.d0), static_cast<long long>(e.d1),
+      static_cast<long long>(e.d2), static_cast<long long>(e.d3),
+      static_cast<long long>(e.d4));
+  *out += buf;
+  AppendEscaped(e.label, out);
+  *out += '"';
+  if (!e.entries.empty()) {
+    *out += ",\"fl\":[";
+    for (size_t i = 0; i < e.entries.size(); ++i) {
+      if (i > 0) *out += ',';
+      const FlEntrySnapshot& entry = e.entries[i];
+      *out += entry.is_read_group ? "{\"rg\":1,\"txns\":["
+                                  : "{\"rg\":0,\"txns\":[";
+      for (size_t j = 0; j < entry.txns.size(); ++j) {
+        if (j > 0) *out += ',';
+        *out += std::to_string(entry.txns[j]);
+      }
+      *out += "]}";
+    }
+    *out += ']';
+  }
+  *out += "}\n";
+}
+
+/// Strict sequential parser for the exact shape AppendEvent writes.
+class LineParser {
+ public:
+  explicit LineParser(const std::string& line) : text_(line) {}
+
+  bool Literal(const char* expect) {
+    const size_t len = std::strlen(expect);
+    if (text_.compare(pos_, len, expect) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool Int(int64_t* out) {
+    size_t end = pos_;
+    if (end < text_.size() && text_[end] == '-') ++end;
+    while (end < text_.size() && std::isdigit(
+               static_cast<unsigned char>(text_[end]))) {
+      ++end;
+    }
+    if (end == pos_) return false;
+    *out = std::stoll(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return true;
+  }
+
+  bool QuotedString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            c = static_cast<char>(
+                std::stoi(text_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: c = esc;
+        }
+      }
+      *out += c;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Peek(char c) const { return pos_ < text_.size() && text_[pos_] == c; }
+  bool Done() const { return pos_ == text_.size(); }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bool ParseLine(const std::string& line, TraceEvent* e, std::string* error) {
+  LineParser p(line);
+  int64_t v = 0;
+  std::string kind_name;
+  const bool header =
+      p.Literal("{\"seq\":") && p.Int(&v) && ((e->seq = static_cast<uint64_t>(v)), true) &&
+      p.Literal(",\"t\":") && p.Int(&v) && ((e->time = v), true) &&
+      p.Literal(",\"kind\":") && p.QuotedString(&kind_name) &&
+      p.Literal(",\"txn\":") && p.Int(&v) && ((e->txn = v), true) &&
+      p.Literal(",\"site\":") && p.Int(&v) && ((e->site = static_cast<SiteId>(v)), true) &&
+      p.Literal(",\"peer\":") && p.Int(&v) && ((e->peer = static_cast<SiteId>(v)), true) &&
+      p.Literal(",\"item\":") && p.Int(&v) && ((e->item = static_cast<ItemId>(v)), true) &&
+      p.Literal(",\"shard\":") && p.Int(&v) && ((e->shard = static_cast<int32_t>(v)), true) &&
+      p.Literal(",\"mode\":") && p.Int(&v) && ((e->mode = static_cast<int32_t>(v)), true) &&
+      p.Literal(",\"flag\":") && p.Int(&v) && ((e->flag = v != 0), true) &&
+      p.Literal(",\"payload\":") && p.Int(&v) && ((e->payload = v), true) &&
+      p.Literal(",\"d0\":") && p.Int(&e->d0) &&
+      p.Literal(",\"d1\":") && p.Int(&e->d1) &&
+      p.Literal(",\"d2\":") && p.Int(&e->d2) &&
+      p.Literal(",\"d3\":") && p.Int(&e->d3) &&
+      p.Literal(",\"d4\":") && p.Int(&e->d4) &&
+      p.Literal(",\"label\":") && p.QuotedString(&e->label);
+  if (!header || !ParseEventKind(kind_name, &e->kind)) {
+    if (error != nullptr) *error = "malformed event line: " + line;
+    return false;
+  }
+  if (p.Peek(',')) {
+    if (!p.Literal(",\"fl\":[")) {
+      if (error != nullptr) *error = "malformed fl array: " + line;
+      return false;
+    }
+    while (!p.Peek(']')) {
+      FlEntrySnapshot entry;
+      if (!p.Literal("{\"rg\":") || !p.Int(&v)) return false;
+      entry.is_read_group = v != 0;
+      if (!p.Literal(",\"txns\":[")) return false;
+      while (!p.Peek(']')) {
+        int64_t txn = 0;
+        if (!p.Int(&txn)) return false;
+        entry.txns.push_back(txn);
+        if (p.Peek(',')) p.Literal(",");
+      }
+      if (!p.Literal("]}")) return false;
+      e->entries.push_back(std::move(entry));
+      if (p.Peek(',')) p.Literal(",");
+    }
+    if (!p.Literal("]")) return false;
+  }
+  if (!p.Literal("}") || !p.Done()) {
+    if (error != nullptr) *error = "trailing garbage: " + line;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void WriteJsonl(const std::vector<TraceEvent>& events, std::ostream& out) {
+  std::string buffer;
+  buffer.reserve(events.size() * 160);
+  for (const TraceEvent& e : events) AppendEvent(e, &buffer);
+  out << buffer;
+}
+
+std::string ToJsonl(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  WriteJsonl(events, out);
+  return out.str();
+}
+
+bool ReadJsonl(std::istream& in, std::vector<TraceEvent>* events,
+               std::string* error) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    TraceEvent e;
+    if (!ParseLine(line, &e, error)) return false;
+    events->push_back(std::move(e));
+  }
+  return true;
+}
+
+void WriteChromeTrace(const std::vector<TraceEvent>& events,
+                      std::ostream& out) {
+  // Transactions render as complete slices on their client's track; the
+  // protocol machinery renders as instant events. Times are simulated units
+  // reported as microseconds (Chrome's trace unit) — relative durations are
+  // what matters.
+  out << "[";
+  bool first = true;
+  std::unordered_map<TxnId, SimTime> begin_time;
+  auto comma = [&out, &first] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case EventKind::kTxnBegin:
+        begin_time[e.txn] = e.time;
+        break;
+      case EventKind::kTxnCommit:
+      case EventKind::kTxnAbort: {
+        auto it = begin_time.find(e.txn);
+        if (it == begin_time.end()) break;
+        comma();
+        const bool commit = e.kind == EventKind::kTxnCommit;
+        out << "{\"name\":\"txn " << e.txn
+            << (commit ? " commit" : " abort") << "\",\"ph\":\"X\",\"ts\":"
+            << it->second << ",\"dur\":" << (e.time - it->second)
+            << ",\"pid\":0,\"tid\":" << e.site;
+        if (commit) {
+          out << ",\"args\":{\"lock_wait\":" << e.d0
+              << ",\"propagation\":" << e.d1 << ",\"queueing\":" << e.d2
+              << ",\"execution\":" << e.d3 << ",\"commit\":" << e.d4 << "}";
+        }
+        out << "}";
+        begin_time.erase(it);
+        break;
+      }
+      case EventKind::kMsgSend:
+      case EventKind::kMsgDeliver:
+        break;  // too dense for the viewer; JSONL keeps the full detail
+      default: {
+        comma();
+        out << "{\"name\":\"" << ToString(e.kind) << "\",\"ph\":\"i\",\"ts\":"
+            << e.time << ",\"pid\":0,\"tid\":" << (e.site >= 0 ? e.site : 0)
+            << ",\"s\":\"t\"}";
+      }
+    }
+  }
+  out << "]\n";
+}
+
+}  // namespace gtpl::obs

@@ -1,0 +1,41 @@
+#ifndef GTPL_OBS_EXPORT_H_
+#define GTPL_OBS_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace gtpl::obs {
+
+/// Trace file formats behind simulate's --trace-format flag.
+enum class TraceFormat {
+  kJsonl = 0,   // one JSON object per line; canonical, machine-readable
+  kChrome = 1,  // Chrome trace-event JSON (load in chrome://tracing / Perfetto)
+};
+
+/// Writes `events` as JSONL: one object per line with a fixed key order and
+/// integer-only values (plus the escaped label string), so equal event
+/// streams serialize to byte-identical files — the determinism tests diff
+/// the raw bytes.
+void WriteJsonl(const std::vector<TraceEvent>& events, std::ostream& out);
+
+/// Serializes to a string (WriteJsonl into a buffer).
+std::string ToJsonl(const std::vector<TraceEvent>& events);
+
+/// Parses a JSONL trace produced by WriteJsonl. Returns false (and stops)
+/// on the first malformed line; `error` gets a diagnostic when non-null.
+bool ReadJsonl(std::istream& in, std::vector<TraceEvent>* events,
+               std::string* error = nullptr);
+
+/// Writes `events` in the Chrome trace-event format: one complete ("X")
+/// slice per committed/aborted transaction (pid = shardless, tid = client
+/// site) plus instant events for the protocol machinery, timestamps in
+/// simulated time units.
+void WriteChromeTrace(const std::vector<TraceEvent>& events,
+                      std::ostream& out);
+
+}  // namespace gtpl::obs
+
+#endif  // GTPL_OBS_EXPORT_H_

@@ -1,0 +1,49 @@
+#include "obs/trace.h"
+
+namespace gtpl::obs {
+
+const char* ToString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTxnBegin: return "txn_begin";
+    case EventKind::kTxnCommit: return "txn_commit";
+    case EventKind::kTxnAbort: return "txn_abort";
+    case EventKind::kLockRequest: return "lock_request";
+    case EventKind::kLockGrant: return "lock_grant";
+    case EventKind::kLockRelease: return "lock_release";
+    case EventKind::kWindowDispatch: return "window_dispatch";
+    case EventKind::kWindowExpand: return "window_expand";
+    case EventKind::kFlHandoff: return "fl_handoff";
+    case EventKind::kReaderRelease: return "reader_release";
+    case EventKind::kWriterRelease: return "writer_release";
+    case EventKind::kGraphCheck: return "graph_check";
+    case EventKind::kPrepare: return "prepare";
+    case EventKind::kVote: return "vote";
+    case EventKind::kDecide: return "decide";
+    case EventKind::kMsgSend: return "msg_send";
+    case EventKind::kMsgDeliver: return "msg_deliver";
+  }
+  return "unknown";
+}
+
+bool ParseEventKind(const std::string& name, EventKind* out) {
+  static constexpr EventKind kAll[] = {
+      EventKind::kTxnBegin,       EventKind::kTxnCommit,
+      EventKind::kTxnAbort,       EventKind::kLockRequest,
+      EventKind::kLockGrant,      EventKind::kLockRelease,
+      EventKind::kWindowDispatch, EventKind::kWindowExpand,
+      EventKind::kFlHandoff,      EventKind::kReaderRelease,
+      EventKind::kWriterRelease,  EventKind::kGraphCheck,
+      EventKind::kPrepare,        EventKind::kVote,
+      EventKind::kDecide,         EventKind::kMsgSend,
+      EventKind::kMsgDeliver,
+  };
+  for (EventKind kind : kAll) {
+    if (name == ToString(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gtpl::obs

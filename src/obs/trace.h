@@ -1,0 +1,142 @@
+#ifndef GTPL_OBS_TRACE_H_
+#define GTPL_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace gtpl::obs {
+
+/// Kind of a structured trace event (DESIGN.md §11). The taxonomy covers the
+/// full protocol surface: transaction lifecycle, lock traffic, g-2PL window
+/// mechanics, two-phase commit rounds, and raw message transport.
+enum class EventKind : uint8_t {
+  kTxnBegin = 0,    // client started a transaction
+  kTxnCommit = 1,   // transaction committed; d0..d4 carry its span phases
+  kTxnAbort = 2,    // server abort decision; d0 = age at decision
+  kLockRequest = 3, // lock/data request reached a server
+  kLockGrant = 4,   // grant/data reached the client; d0 = op lock wait
+  kLockRelease = 5, // server released a committed txn's locks / installed
+  kWindowDispatch = 6,  // g-2PL window dispatched; entries = forward list
+  kWindowExpand = 7,    // g-2PL read-group expansion; entries = new list
+  kFlHandoff = 8,       // client forwarded an item along its forward list
+  kReaderRelease = 9,   // a reader's release reached the following writer
+  kWriterRelease = 10,  // a committed writer released its update
+  kGraphCheck = 11,     // precedence-graph acyclicity audit; flag = acyclic
+  kPrepare = 12,        // 2PC prepare reached participant `shard`
+  kVote = 13,           // 2PC vote reached the coordinator; flag = yes
+  kDecide = 14,         // 2PC commit decision reached participant `shard`
+  kMsgSend = 15,        // message entered the transport at `site`
+  kMsgDeliver = 16,     // message delivered at `site`; d0..d3 = queueing
+};
+
+/// Stable lowercase name of `kind` (the JSONL wire name).
+const char* ToString(EventKind kind);
+
+/// Inverse of ToString; returns false if `name` is not a known kind.
+bool ParseEventKind(const std::string& name, EventKind* out);
+
+/// One forward-list entry snapshot attached to window events.
+struct FlEntrySnapshot {
+  bool is_read_group = false;
+  std::vector<TxnId> txns;
+
+  friend bool operator==(const FlEntrySnapshot& a, const FlEntrySnapshot& b) {
+    return a.is_read_group == b.is_read_group && a.txns == b.txns;
+  }
+};
+
+/// One structured trace event. Events are totally ordered by (time, seq):
+/// `seq` is the emission index, which is deterministic because the simulator
+/// executes same-tick events in schedule order — two runs with the same seed
+/// produce byte-identical streams, at any worker-thread count (traces are
+/// buffered per replication and written post-hoc). No wall-clock anywhere.
+///
+/// The integer detail fields d0..d4 are kind-specific:
+///   kTxnCommit:  d0 lock-wait, d1 propagation, d2 transmission+queueing,
+///                d3 execution (think), d4 commit phase — the span.
+///   kTxnAbort:   d0 age at the abort decision.
+///   kLockGrant:  d0 this operation's lock wait, d1 its total wait.
+///   kMsgSend:    d0 sender uplink queueing, d1 transmission delay.
+///   kMsgDeliver: d0 sender queueing, d1 propagation, d2 receiver queueing,
+///                d3 transmission delay.
+struct TraceEvent {
+  uint64_t seq = 0;  // stamped by Tracer::Emit; stable same-tick tiebreak
+  SimTime time = 0;  // simulated time; stamped by Tracer::Emit
+  EventKind kind = EventKind::kTxnBegin;
+  TxnId txn = kInvalidTxn;
+  SiteId site = -1;   // where the event happened (-1: not site-bound)
+  SiteId peer = -1;   // the other endpoint, for message/abort events
+  ItemId item = kInvalidItem;
+  int32_t shard = 0;  // shard index (0 in single-server runs)
+  int32_t mode = -1;  // -1 none, 0 shared, 1 exclusive
+  bool flag = false;  // kGraphCheck: acyclic; kVote: yes
+  int64_t payload = 0;
+  int64_t d0 = 0;
+  int64_t d1 = 0;
+  int64_t d2 = 0;
+  int64_t d3 = 0;
+  int64_t d4 = 0;
+  std::string label;
+  std::vector<FlEntrySnapshot> entries;  // window events only
+
+  friend bool operator==(const TraceEvent& a, const TraceEvent& b) {
+    return a.seq == b.seq && a.time == b.time && a.kind == b.kind &&
+           a.txn == b.txn && a.site == b.site && a.peer == b.peer &&
+           a.item == b.item && a.shard == b.shard && a.mode == b.mode &&
+           a.flag == b.flag && a.payload == b.payload && a.d0 == b.d0 &&
+           a.d1 == b.d1 && a.d2 == b.d2 && a.d3 == b.d3 && a.d4 == b.d4 &&
+           a.label == b.label && a.entries == b.entries;
+  }
+};
+
+/// Buffering trace sink. Zero overhead when disabled: Emit is a single
+/// branch and every call site guards the (possibly costly) event
+/// construction behind enabled(). Emission never draws random numbers and
+/// never schedules events, so enabling tracing cannot perturb a run —
+/// metrics are bit-identical with tracing on or off.
+class Tracer {
+ public:
+  Tracer() = default;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Binds the simulated clock used to stamp events.
+  void Attach(const sim::Simulator* simulator) { simulator_ = simulator; }
+
+  void Enable() { enabled_ = true; }
+  bool enabled() const { return enabled_; }
+
+  /// Appends `event`, stamping time and the next sequence number. No-op
+  /// when disabled.
+  void Emit(TraceEvent event) {
+    if (!enabled_) return;
+    event.seq = next_seq_++;
+    event.time = simulator_ != nullptr ? simulator_->Now() : 0;
+    events_.push_back(std::move(event));
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Moves the buffered events out (the tracer is empty afterwards).
+  std::vector<TraceEvent> Take() {
+    std::vector<TraceEvent> out = std::move(events_);
+    events_.clear();
+    return out;
+  }
+
+ private:
+  const sim::Simulator* simulator_ = nullptr;
+  bool enabled_ = false;
+  uint64_t next_seq_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace gtpl::obs
+
+#endif  // GTPL_OBS_TRACE_H_

@@ -87,6 +87,7 @@ class C2plEngine : public EngineBase {
 
  private:
   void ServerOnRequest(TxnId txn, SiteId site, ItemId item, LockMode mode) {
+    NoteRequestAtServer(txn, item, mode);
     if (server_aborted_.count(txn) > 0) return;
     const db::LockResult outcome = lock_table_.Request(txn, item, mode);
     if (outcome == db::LockResult::kGranted) {
@@ -120,6 +121,14 @@ class C2plEngine : public EngineBase {
   void ServerOnRelease(TxnId txn,
                        const std::vector<std::pair<ItemId, Version>>& updates) {
     GTPL_CHECK_EQ(server_aborted_.count(txn), 0u);
+    if (tracer().enabled()) {
+      obs::TraceEvent event;
+      event.kind = obs::EventKind::kLockRelease;
+      event.txn = txn;
+      event.site = kServerSite;
+      event.payload = static_cast<int64_t>(updates.size());
+      tracer().Emit(std::move(event));
+    }
     for (const auto& [item, version] : updates) {
       store().Install(item, version);
       const int64_t lsn = server_wal().Append(db::LogRecordKind::kInstall,
@@ -255,6 +264,7 @@ class CblEngine : public EngineBase {
   };
 
   void ServerOnRequest(TxnId txn, SiteId site, ItemId item, LockMode mode) {
+    NoteRequestAtServer(txn, item, mode);
     if (server_aborted_.count(txn) > 0) return;
     ItemCbl& it = items_[static_cast<size_t>(item)];
     if (it.x_holder == kInvalidTxn && it.queue.empty()) {
@@ -441,6 +451,14 @@ class CblEngine : public EngineBase {
   void ServerOnCommit(TxnId txn,
                       const std::vector<std::pair<ItemId, Version>>& updates) {
     GTPL_CHECK_EQ(server_aborted_.count(txn), 0u);
+    if (tracer().enabled()) {
+      obs::TraceEvent event;
+      event.kind = obs::EventKind::kLockRelease;
+      event.txn = txn;
+      event.site = kServerSite;
+      event.payload = static_cast<int64_t>(updates.size());
+      tracer().Emit(std::move(event));
+    }
     for (const auto& [item, version] : updates) {
       store().Install(item, version);
       const int64_t lsn = server_wal().Append(db::LogRecordKind::kInstall,
@@ -525,7 +543,8 @@ class O2plEngine : public EngineBase {
     const TxnId txn = run.id;
     const SiteId site = run.site();
     network().Send(site, kServerSite, "o2pl-fetch",
-                   [this, txn, site, item = op.item] {
+                   [this, txn, site, item = op.item, mode = op.mode] {
+                     NoteRequestAtServer(txn, item, mode);
                      copy_sets_[static_cast<size_t>(item)].insert(site);
                      const Version version = store().VersionOf(item);
                      network().Send(kServerSite, site, "o2pl-data",
@@ -594,6 +613,15 @@ class O2plEngine : public EngineBase {
       ++certification_failures_;
       ServerAbortDecision(txn, site);
       return;
+    }
+    if (tracer().enabled()) {
+      obs::TraceEvent event;
+      event.kind = obs::EventKind::kLockRelease;
+      event.txn = txn;
+      event.site = kServerSite;
+      event.payload = static_cast<int64_t>(records.size());
+      event.label = "certified";
+      tracer().Emit(std::move(event));
     }
     for (const OpRecord& record : records) {
       if (record.mode != LockMode::kExclusive) continue;

@@ -60,6 +60,17 @@ EngineBase::EngineBase(const SimConfig& config) : config_(config) {
   // message-direction breakdown; harmless when there are none.
   network_->SetSiteLayout(config.num_clients);
   if (config.trace) network_->EnableTracing();
+  tracer_.Attach(&sim_);
+  if (config.obs_trace) tracer_.Enable();
+  network_->SetTracer(&tracer_);
+  // Full response / op-wait distributions behind the Welford means. Bucket
+  // width tracks the configured latency (the natural unit of every round),
+  // with generous headroom before the overflow bucket.
+  {
+    const double unit = static_cast<double>(std::max<SimTime>(config.latency, 8));
+    result_.response_hist = stats::Histogram(unit * 8192.0, 8192);
+    result_.op_wait_hist = stats::Histogram(unit * 1024.0, 4096);
+  }
   store_ = std::make_unique<db::DataStore>(config.workload.num_items);
   server_wal_ = std::make_unique<db::WriteAheadLog>(config.wal_force_delay);
   clients_.resize(static_cast<size_t>(config.num_clients));
@@ -103,7 +114,9 @@ RunResult EngineBase::Run() {
   result_.end_time = sim_.Now();
   result_.network = network_->stats();
   result_.max_link_utilization = network_->MaxLinkUtilization(sim_.Now());
-  result_.queue_delay_p99 = network_->queue_delay_histogram().Quantile(0.99);
+  result_.queue_delay_p99 =
+      network_->queue_delay_histogram().Percentile(0.99);
+  result_.obs_trace = tracer_.Take();
   result_.wal_appends = server_wal_->appends();
   result_.wal_forces = server_wal_->forces();
   result_.wal_retained = static_cast<int64_t>(server_wal_->size());
@@ -127,6 +140,14 @@ void EngineBase::BeginTxn(ClientState& client) {
   txn_client_[run->id] = client.index;
   client.current = std::move(run);
   client.current->request_time = sim_.Now();
+  if (tracer_.enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kTxnBegin;
+    event.txn = client.current->id;
+    event.site = client.current->site();
+    event.payload = static_cast<int64_t>(client.current->spec.ops.size());
+    tracer_.Emit(std::move(event));
+  }
   SendRequest(*client.current);
 }
 
@@ -139,12 +160,47 @@ void EngineBase::ScheduleNextTxn(ClientState& client) {
 
 void EngineBase::OpGranted(TxnRun& run, Version version_read) {
   GTPL_CHECK(!run.finished);
+  const SimTime wait = sim_.Now() - run.request_time;
   if (result_.total_commits >= config_.warmup_txns) {
-    result_.op_wait.Add(static_cast<double>(sim_.Now() - run.request_time));
+    result_.op_wait.Add(static_cast<double>(wait));
+    result_.op_wait_hist.Add(static_cast<double>(wait));
+  }
+  // Span accounting: the grant/data flight's network components come from
+  // the delivery being executed right now — valid only when this call is
+  // inside a delivery *to this client* (cache-hit grants and timer-driven
+  // grants get zero network attribution). What remains of the wait after
+  // subtracting the request and grant flights is server-side lock wait.
+  SimTime grant_prop = 0;
+  SimTime grant_queue = 0;
+  {
+    const net::DeliveryInfo& d = network_->current_delivery();
+    if (d.active && d.to == run.site()) {
+      grant_prop = d.Propagation();
+      grant_queue = d.Queueing();
+    }
+  }
+  const SimTime op_lock_wait = std::max<SimTime>(
+      0, wait - run.req_prop - run.req_queue - grant_prop - grant_queue);
+  run.span.lock_wait += op_lock_wait;
+  run.span.propagation += run.req_prop + grant_prop;
+  run.span.queueing += run.req_queue + grant_queue;
+  run.req_prop = 0;
+  run.req_queue = 0;
+  if (tracer_.enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kLockGrant;
+    event.txn = run.id;
+    event.site = run.site();
+    event.item = run.op().item;
+    event.mode = static_cast<int32_t>(run.op().mode);
+    event.d0 = op_lock_wait;
+    event.d1 = wait;
+    tracer_.Emit(std::move(event));
   }
   run.pending_version = version_read;
   ClientState& client = clients_[static_cast<size_t>(run.client_index)];
   const SimTime think = client.generator->SampleThink();
+  run.span.execution += think;
   const TxnId txn = run.id;
   sim_.Schedule(think, [this, txn, index = run.client_index] {
     TxnRun* current = clients_[static_cast<size_t>(index)].current.get();
@@ -169,6 +225,7 @@ void EngineBase::FinishOp(TxnRun& run) {
                        record.version_written);
   }
   if (run.LastOp()) {
+    run.commit_start = sim_.Now();
     StartCommit(run);
     return;
   }
@@ -201,6 +258,7 @@ void EngineBase::StartCommit(TxnRun& run) {
 
 void EngineBase::FinalizeCommit(TxnRun& run) {
   run.finished = true;
+  run.span.commit = sim_.Now() - run.commit_start;
   ClientState& client = clients_[static_cast<size_t>(run.client_index)];
   client.restart_streak = 0;
   ++result_.total_commits;
@@ -208,12 +266,19 @@ void EngineBase::FinalizeCommit(TxnRun& run) {
   if (measured) {
     ++result_.commits;
     result_.response.Add(static_cast<double>(sim_.Now() - run.start_time));
+    result_.response_hist.Add(static_cast<double>(sim_.Now() - run.start_time));
+    result_.span_lock_wait.Add(static_cast<double>(run.span.lock_wait));
+    result_.span_propagation.Add(static_cast<double>(run.span.propagation));
+    result_.span_queueing.Add(static_cast<double>(run.span.queueing));
+    result_.span_execution.Add(static_cast<double>(run.span.execution));
+    result_.span_commit.Add(static_cast<double>(run.span.commit));
     if (config_.record_history) {
       CommittedTxn committed;
       committed.id = run.id;
       committed.client = run.site();
       committed.start_time = run.start_time;
       committed.commit_time = sim_.Now();
+      committed.span = run.span;
       committed.ops = run.records;
       result_.history.push_back(std::move(committed));
     }
@@ -226,8 +291,23 @@ void EngineBase::FinalizeCommit(TxnRun& run) {
     committed.client = run.site();
     committed.start_time = run.start_time;
     committed.commit_time = sim_.Now();
+    committed.span = run.span;
     committed.ops = run.records;
     result_.history.push_back(std::move(committed));
+  }
+  if (tracer_.enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kTxnCommit;
+    event.txn = run.id;
+    event.site = run.site();
+    event.flag = measured;
+    event.payload = sim_.Now() - run.start_time;  // response time
+    event.d0 = run.span.lock_wait;
+    event.d1 = run.span.propagation;
+    event.d2 = run.span.queueing;
+    event.d3 = run.span.execution;
+    event.d4 = run.span.commit;
+    tracer_.Emit(std::move(event));
   }
   // Queue the commit's updates for client-log garbage collection once the
   // server has made them permanent.
@@ -294,11 +374,47 @@ void EngineBase::ServerAbortDecision(TxnId txn, SiteId client_site,
     result_.abort_age.Add(static_cast<double>(sim_.Now() - run->start_time));
     result_.abort_held_items.Add(static_cast<double>(run->records.size()));
   }
+  if (tracer_.enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kTxnAbort;
+    event.txn = txn;
+    event.site = client_site;
+    event.peer = server_site;
+    event.d0 = sim_.Now() - run->start_time;  // age at the abort decision
+    event.payload = static_cast<int64_t>(run->records.size());
+    tracer_.Emit(std::move(event));
+  }
   if (config_.instant_abort_notice) {
     sim_.Schedule(0, [this, txn, index] { AbortNoticeArrived(txn, index); });
   } else {
     network_->Send(server_site, client_site, "abort",
                    [this, txn, index] { AbortNoticeArrived(txn, index); });
+  }
+}
+
+void EngineBase::NoteRequestAtServer(TxnId txn, ItemId item, LockMode mode,
+                                     int32_t shard) {
+  TxnRun* run = FindRun(txn);
+  const net::DeliveryInfo& d = network_->current_delivery();
+  if (run != nullptr && !run->finished && d.active &&
+      run->current_op < run->spec.ops.size() &&
+      run->op().item == item) {
+    run->req_prop = d.Propagation();
+    run->req_queue = d.Queueing();
+  }
+  if (tracer_.enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kLockRequest;
+    event.txn = txn;
+    event.site = run == nullptr ? SiteId{-1} : run->site();
+    event.item = item;
+    event.mode = static_cast<int32_t>(mode);
+    event.shard = shard;
+    if (d.active) {
+      event.d0 = d.Propagation();
+      event.d1 = d.Queueing();
+    }
+    tracer_.Emit(std::move(event));
   }
 }
 

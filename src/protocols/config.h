@@ -94,6 +94,13 @@ struct SimConfig {
   bool record_history = false;
   /// Record per-message network trace (examples only).
   bool trace = false;
+  /// Record the structured observability trace (obs/trace.h): protocol
+  /// events, lock traffic, 2PC rounds, and message-level queueing detail,
+  /// returned in RunResult::obs_trace. Observation-only — never draws
+  /// randomness or schedules events, so metrics are bit-identical with it
+  /// on or off; the stream itself is deterministic per seed (DESIGN.md
+  /// §11). Costs memory and time; default off (simulate --trace).
+  bool obs_trace = false;
   /// Record the protocol-invariant event stream (window dispatches, reader
   /// release arrivals, writer update releases, graph audits, 2PC rounds)
   /// consumed by the checkers in protocols/invariants.h (tests only; costs

@@ -12,6 +12,7 @@
 #include "db/data_store.h"
 #include "db/wal.h"
 #include "net/network.h"
+#include "obs/trace.h"
 #include "protocols/config.h"
 #include "protocols/metrics.h"
 #include "sim/simulator.h"
@@ -54,6 +55,16 @@ class EngineBase {
     SimTime request_time = 0;  // when the current op's request was issued
     Version pending_version = 0;  // version delivered for the current op
     std::vector<OpRecord> records;
+    /// Latency-breakdown span accumulated over the transaction's lifetime
+    /// (metrics.h); finalized at commit, unused for aborted transactions.
+    TxnSpan span;
+    /// Network components of the current op's request flight, captured when
+    /// the request reaches the server (NoteRequestAtServer); folded into the
+    /// span when the grant comes back.
+    SimTime req_prop = 0;
+    SimTime req_queue = 0;
+    /// When the commit phase started (last op's think elapsed).
+    SimTime commit_start = 0;
 
     SiteId site() const { return client_index + 1; }
     const workload::Operation& op() const { return spec.ops[current_op]; }
@@ -94,6 +105,19 @@ class EngineBase {
   /// Appends `event` (stamped with the current simulated time) to the run's
   /// protocol-event stream; no-op unless record_protocol_events is set.
   void RecordEvent(ProtocolEvent event);
+
+  /// Structured observability tracer (obs/trace.h); enabled iff
+  /// config.obs_trace. Protocol code emits through it freely — Emit is a
+  /// no-op when disabled.
+  obs::Tracer& tracer() { return tracer_; }
+
+  /// Called by protocol request handlers when `txn`'s request for `item`
+  /// reaches the owning server: captures the request flight's network
+  /// components (from the network's current delivery, when one is active)
+  /// for span accounting and emits kLockRequest. `shard` is the serving
+  /// shard index (0 for single-server engines).
+  void NoteRequestAtServer(TxnId txn, ItemId item, LockMode mode,
+                           int32_t shard = 0);
 
   /// Data/grant for the current operation of `run` arrived: think, record
   /// the access, then issue the next request or commit.
@@ -141,6 +165,7 @@ class EngineBase {
 
   SimConfig config_;
   sim::Simulator sim_;
+  obs::Tracer tracer_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<db::DataStore> store_;
   std::unique_ptr<db::WriteAheadLog> server_wal_;

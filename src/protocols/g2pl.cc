@@ -43,23 +43,40 @@ void G2plEngine::SendRequest(TxnRun& run) {
   EnsureTxn(txn, run.client_index);
   network().Send(site, kServerSite, "lock-request",
                  [this, txn, site, op, restarts] {
+                   NoteRequestAtServer(txn, op.item, op.mode);
                    wm_->OnRequest(txn, site, op.item, op.mode, restarts);
                  });
 }
 
 void G2plEngine::WmDispatch(ItemId item, Version version,
                             std::shared_ptr<const core::ForwardList> fl) {
-  if (config().record_protocol_events) {
-    ProtocolEvent event;
-    event.kind = ProtocolEventKind::kWindowDispatched;
-    event.item = item;
-    event.entries = SnapshotForwardList(*fl);
-    RecordEvent(std::move(event));
-    ProtocolEvent audit;
-    audit.kind = ProtocolEventKind::kGraphCheck;
-    audit.item = item;
-    audit.flag = wm_->graph().IsAcyclic();
-    RecordEvent(std::move(audit));
+  if (config().record_protocol_events || tracer().enabled()) {
+    const bool acyclic = wm_->graph().IsAcyclic();
+    if (config().record_protocol_events) {
+      ProtocolEvent event;
+      event.kind = ProtocolEventKind::kWindowDispatched;
+      event.item = item;
+      event.entries = SnapshotForwardList(*fl);
+      RecordEvent(std::move(event));
+      ProtocolEvent audit;
+      audit.kind = ProtocolEventKind::kGraphCheck;
+      audit.item = item;
+      audit.flag = acyclic;
+      RecordEvent(std::move(audit));
+    }
+    if (tracer().enabled()) {
+      obs::TraceEvent event;
+      event.kind = obs::EventKind::kWindowDispatch;
+      event.item = item;
+      event.payload = static_cast<int64_t>(version);
+      event.entries = ObsSnapshotForwardList(*fl);
+      tracer().Emit(std::move(event));
+      obs::TraceEvent audit;
+      audit.kind = obs::EventKind::kGraphCheck;
+      audit.item = item;
+      audit.flag = acyclic;
+      tracer().Emit(std::move(audit));
+    }
   }
   for (int32_t e = 0; e < fl->num_entries(); ++e) {
     for (const core::FlMember& m : fl->entry(e).members) {
@@ -79,18 +96,35 @@ void G2plEngine::WmExpand(ItemId item, Version version,
                           std::shared_ptr<const core::ForwardList> fl,
                           TxnId txn, SiteId client_site,
                           int32_t member_index) {
-  if (config().record_protocol_events) {
-    ProtocolEvent event;
-    event.kind = ProtocolEventKind::kWindowExpanded;
-    event.txn = txn;
-    event.item = item;
-    event.entries = SnapshotForwardList(*fl);
-    RecordEvent(std::move(event));
-    ProtocolEvent audit;
-    audit.kind = ProtocolEventKind::kGraphCheck;
-    audit.item = item;
-    audit.flag = wm_->graph().IsAcyclic();
-    RecordEvent(std::move(audit));
+  if (config().record_protocol_events || tracer().enabled()) {
+    const bool acyclic = wm_->graph().IsAcyclic();
+    if (config().record_protocol_events) {
+      ProtocolEvent event;
+      event.kind = ProtocolEventKind::kWindowExpanded;
+      event.txn = txn;
+      event.item = item;
+      event.entries = SnapshotForwardList(*fl);
+      RecordEvent(std::move(event));
+      ProtocolEvent audit;
+      audit.kind = ProtocolEventKind::kGraphCheck;
+      audit.item = item;
+      audit.flag = acyclic;
+      RecordEvent(std::move(audit));
+    }
+    if (tracer().enabled()) {
+      obs::TraceEvent event;
+      event.kind = obs::EventKind::kWindowExpand;
+      event.txn = txn;
+      event.item = item;
+      event.payload = static_cast<int64_t>(version);
+      event.entries = ObsSnapshotForwardList(*fl);
+      tracer().Emit(std::move(event));
+      obs::TraceEvent audit;
+      audit.kind = obs::EventKind::kGraphCheck;
+      audit.item = item;
+      audit.flag = acyclic;
+      tracer().Emit(std::move(audit));
+    }
   }
   TxnState& ts = EnsureTxn(txn, client_site - 1);
   ++ts.slots_outstanding;
@@ -187,6 +221,13 @@ void G2plEngine::OnReaderRelease(TxnId writer_txn, ItemId item,
     event.item = item;
     RecordEvent(std::move(event));
   }
+  if (tracer().enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kReaderRelease;
+    event.txn = writer_txn;
+    event.item = item;
+    tracer().Emit(std::move(event));
+  }
   Obligation& ob = obligations_[ObKey{writer_txn, item}];
   if (ob.fl == nullptr) {
     // Basic mode (MR1W off): the first reader release carries the data.
@@ -246,9 +287,30 @@ void G2plEngine::TryForward(TxnId txn, ItemId item) {
     event.item = item;
     RecordEvent(std::move(event));
   }
+  if (ts.committed && ob.is_writer && tracer().enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kWriterRelease;
+    event.txn = txn;
+    event.item = item;
+    tracer().Emit(std::move(event));
+  }
   const Version version_out =
       ts.committed && ob.is_writer ? ob.version + 1 : ob.version;
   const SiteId from = ts.client_index + 1;
+  if (tracer().enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kFlHandoff;
+    event.txn = txn;
+    event.site = from;
+    event.item = item;
+    event.flag = ts.committed;
+    event.mode = ob.is_writer ? 1 : 0;
+    event.payload = static_cast<int64_t>(version_out);
+    event.label = ob.fl->IsLastEntry(ob.entry)
+                      ? "return"
+                      : (!ob.is_writer ? "reader-release" : "forward");
+    tracer().Emit(std::move(event));
+  }
   if (ob.fl->IsLastEntry(ob.entry)) {
     network().Send(
         from, kServerSite, "return",

@@ -39,6 +39,73 @@ std::vector<FlEntryRecord> SnapshotForwardList(const core::ForwardList& fl) {
   return entries;
 }
 
+std::vector<obs::FlEntrySnapshot> ObsSnapshotForwardList(
+    const core::ForwardList& fl) {
+  std::vector<obs::FlEntrySnapshot> entries;
+  entries.reserve(static_cast<size_t>(fl.num_entries()));
+  for (int32_t e = 0; e < fl.num_entries(); ++e) {
+    obs::FlEntrySnapshot snapshot;
+    snapshot.is_read_group = fl.entry(e).is_read_group;
+    for (const core::FlMember& member : fl.entry(e).members) {
+      snapshot.txns.push_back(member.txn);
+    }
+    entries.push_back(std::move(snapshot));
+  }
+  return entries;
+}
+
+std::vector<ProtocolEvent> ProtocolEventsFromTrace(
+    const std::vector<obs::TraceEvent>& trace) {
+  std::vector<ProtocolEvent> events;
+  for (const obs::TraceEvent& te : trace) {
+    ProtocolEventKind kind;
+    switch (te.kind) {
+      case obs::EventKind::kWindowDispatch:
+        kind = ProtocolEventKind::kWindowDispatched;
+        break;
+      case obs::EventKind::kWindowExpand:
+        kind = ProtocolEventKind::kWindowExpanded;
+        break;
+      case obs::EventKind::kReaderRelease:
+        kind = ProtocolEventKind::kReaderReleaseArrived;
+        break;
+      case obs::EventKind::kWriterRelease:
+        kind = ProtocolEventKind::kWriterUpdateReleased;
+        break;
+      case obs::EventKind::kGraphCheck:
+        kind = ProtocolEventKind::kGraphCheck;
+        break;
+      case obs::EventKind::kPrepare:
+        kind = ProtocolEventKind::kPrepareArrived;
+        break;
+      case obs::EventKind::kVote:
+        kind = ProtocolEventKind::kVoteArrived;
+        break;
+      case obs::EventKind::kDecide:
+        kind = ProtocolEventKind::kCommitDecisionArrived;
+        break;
+      default:
+        continue;  // lifecycle / lock / message events have no counterpart
+    }
+    ProtocolEvent pe;
+    pe.kind = kind;
+    pe.time = te.time;
+    pe.txn = te.txn;
+    pe.item = te.item;
+    pe.server = te.shard;
+    pe.flag = te.flag;
+    pe.entries.reserve(te.entries.size());
+    for (const obs::FlEntrySnapshot& entry : te.entries) {
+      FlEntryRecord record;
+      record.is_read_group = entry.is_read_group;
+      record.txns = entry.txns;
+      pe.entries.push_back(std::move(record));
+    }
+    events.push_back(std::move(pe));
+  }
+  return events;
+}
+
 bool CheckAcyclicity(const std::vector<ProtocolEvent>& events,
                      std::string* explanation) {
   for (const ProtocolEvent& event : events) {

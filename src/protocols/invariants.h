@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/trace.h"
 
 namespace gtpl::core {
 class ForwardList;
@@ -42,6 +43,10 @@ enum class ProtocolEventKind : uint8_t {
 struct FlEntryRecord {
   bool is_read_group = false;
   std::vector<TxnId> txns;
+
+  bool operator==(const FlEntryRecord& other) const {
+    return is_read_group == other.is_read_group && txns == other.txns;
+  }
 };
 
 /// One entry of the protocol-invariant event stream that engines emit when
@@ -58,10 +63,31 @@ struct ProtocolEvent {
   int32_t server = 0;  // shard index (0 in single-server runs)
   bool flag = false;   // kGraphCheck: acyclic; kVoteArrived: yes
   std::vector<FlEntryRecord> entries;  // window events only
+
+  bool operator==(const ProtocolEvent& other) const {
+    return kind == other.kind && time == other.time && txn == other.txn &&
+           item == other.item && server == other.server &&
+           flag == other.flag && entries == other.entries;
+  }
 };
 
 /// Entry/member snapshot of a forward list, for window events.
 std::vector<FlEntryRecord> SnapshotForwardList(const core::ForwardList& fl);
+
+/// Same snapshot in the observability-trace representation (obs/trace.h).
+std::vector<obs::FlEntrySnapshot> ObsSnapshotForwardList(
+    const core::ForwardList& fl);
+
+/// Projects a structured observability trace onto the protocol-invariant
+/// event stream: the trace events that mirror ProtocolEvents (window
+/// dispatch/expand, graph audits, reader/writer releases, 2PC rounds)
+/// convert one to one and in order; everything else is dropped. Engines
+/// emit both streams at the same points, so the result equals
+/// RunResult::protocol_events field for field — which lets the checkers
+/// below replay a saved trace file with no live run (trace_inspect
+/// --check-invariants).
+std::vector<ProtocolEvent> ProtocolEventsFromTrace(
+    const std::vector<obs::TraceEvent>& trace);
 
 /// Every kGraphCheck event in the stream reported an acyclic graph.
 bool CheckAcyclicity(const std::vector<ProtocolEvent>& events,

@@ -7,7 +7,9 @@
 
 #include "common/types.h"
 #include "net/network.h"
+#include "obs/trace.h"
 #include "protocols/invariants.h"
+#include "stats/histogram.h"
 #include "stats/welford.h"
 
 namespace gtpl::proto {
@@ -20,12 +22,37 @@ struct OpRecord {
   Version version_written = 0;  // 0 for reads
 };
 
+/// Decomposition of one committed transaction's response time into
+/// lifecycle phases (DESIGN.md §11). The phases are exhaustive and
+/// disjoint: lock_wait + propagation + queueing + execution + commit equals
+/// commit_time - start_time exactly (span_accounting_test pins this for
+/// every protocol, sharded and unsharded, with and without the link model).
+struct TxnSpan {
+  /// Server-side waiting: request arrival -> grant departure (residual of
+  /// each operation's round after subtracting the network components).
+  SimTime lock_wait = 0;
+  /// Pure propagation of the request and grant/data flights.
+  SimTime propagation = 0;
+  /// Transmission delay + NIC queueing of those flights (0 under the
+  /// paper's pure-propagation model).
+  SimTime queueing = 0;
+  /// Client think time after each granted operation.
+  SimTime execution = 0;
+  /// Commit phase: WAL force, 2PC prepare + vote rounds, certification.
+  SimTime commit = 0;
+
+  SimTime Total() const {
+    return lock_wait + propagation + queueing + execution + commit;
+  }
+};
+
 /// A committed transaction, for post-hoc serializability verification.
 struct CommittedTxn {
   TxnId id = kInvalidTxn;
   SiteId client = 0;
   SimTime start_time = 0;
   SimTime commit_time = 0;
+  TxnSpan span;
   std::vector<OpRecord> ops;
 };
 
@@ -49,6 +76,21 @@ struct RunResult {
   /// 99th percentile of per-message total queueing delay (sender uplink +
   /// receiver downlink waits; link model with nic_queue only).
   double queue_delay_p99 = 0.0;
+
+  /// Latency-breakdown spans over committed transactions in the measured
+  /// phase (each Welford averages one TxnSpan phase; the five means sum to
+  /// response.mean()).
+  stats::Welford span_lock_wait;
+  stats::Welford span_propagation;
+  stats::Welford span_queueing;
+  stats::Welford span_execution;
+  stats::Welford span_commit;
+
+  /// Full distributions behind the Welford means: committed-transaction
+  /// response times and per-operation waits (measured phase). Sized by the
+  /// engine from the configured latency.
+  stats::Histogram response_hist;
+  stats::Histogram op_wait_hist;
 
   int64_t commits = 0;         // measured phase
   int64_t aborts = 0;          // measured phase
@@ -97,6 +139,11 @@ struct RunResult {
   /// Protocol-invariant event stream (only when record_protocol_events was
   /// set); consumed by the checkers in protocols/invariants.h.
   std::vector<ProtocolEvent> protocol_events;
+
+  /// Structured observability trace (only when obs_trace was set); see
+  /// obs/trace.h and DESIGN.md §11. Deterministic: byte-identical across
+  /// reruns of the same seed at any worker count.
+  std::vector<obs::TraceEvent> obs_trace;
 
   /// Aborted / (aborted + committed) in the measured phase, in percent —
   /// the quantity plotted in the paper's Figures 8-15.

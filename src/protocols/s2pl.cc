@@ -23,6 +23,7 @@ void S2plEngine::SendRequest(TxnRun& run) {
 void S2plEngine::ServerOnRequest(TxnId txn, SiteId client_site, ItemId item,
                                  LockMode mode) {
   (void)client_site;
+  NoteRequestAtServer(txn, item, mode);
   if (server_aborted_.count(txn) > 0) return;  // stale request of a victim
   const db::LockResult outcome = lock_table_.Request(txn, item, mode);
   if (outcome == db::LockResult::kGranted) {
@@ -97,6 +98,14 @@ void S2plEngine::DoCommit(TxnRun& run) {
 void S2plEngine::ServerOnRelease(TxnId txn, std::vector<Update> updates) {
   GTPL_CHECK_EQ(server_aborted_.count(txn), 0u)
       << "a doomed transaction committed";
+  if (tracer().enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kLockRelease;
+    event.txn = txn;
+    event.site = kServerSite;
+    event.payload = static_cast<int64_t>(updates.size());
+    tracer().Emit(std::move(event));
+  }
   for (const Update& update : updates) {
     store().Install(update.item, update.version);
     const int64_t lsn = server_wal().Append(db::LogRecordKind::kInstall, txn,

@@ -85,6 +85,14 @@ void ShardedEngineBase::OnPrepareArrived(int32_t shard, TxnId txn) {
     event.server = shard;
     RecordEvent(std::move(event));
   }
+  if (tracer().enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kPrepare;
+    event.txn = txn;
+    event.shard = shard;
+    event.site = ServerSiteOf(shard);
+    tracer().Emit(std::move(event));
+  }
   const bool yes = ShardVote(shard, txn);
   // The participant forces its own prepare record before voting yes.
   if (yes) {
@@ -106,6 +114,14 @@ void ShardedEngineBase::OnVoteArrived(TxnId txn, int32_t shard, bool yes) {
     event.server = shard;
     event.flag = yes;
     RecordEvent(std::move(event));
+  }
+  if (tracer().enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kVote;
+    event.txn = txn;
+    event.shard = shard;
+    event.flag = yes;
+    tracer().Emit(std::move(event));
   }
   auto it = commits_.find(txn);
   if (it == commits_.end()) return;
@@ -146,6 +162,14 @@ void ShardedEngineBase::OnDecisionArrived(int32_t shard, TxnId txn) {
     event.txn = txn;
     event.server = shard;
     RecordEvent(std::move(event));
+  }
+  if (tracer().enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kDecide;
+    event.txn = txn;
+    event.shard = shard;
+    event.site = ServerSiteOf(shard);
+    tracer().Emit(std::move(event));
   }
   server_wal().Append(db::LogRecordKind::kCommit, txn, kInvalidItem, 0);
   OnCommitDecision(shard, txn);
@@ -208,6 +232,7 @@ void ShardedG2plEngine::SendRequest(TxnRun& run) {
   const int32_t shard = ShardOf(op.item);
   network().Send(site, ServerSiteOf(shard), "lock-request",
                  [this, shard, txn, site, op, restarts] {
+                   NoteRequestAtServer(txn, op.item, op.mode, shard);
                    wms_[static_cast<size_t>(shard)]->OnRequest(
                        txn, site, op.item, op.mode, restarts);
                  });
@@ -216,19 +241,37 @@ void ShardedG2plEngine::SendRequest(TxnRun& run) {
 void ShardedG2plEngine::WmDispatch(
     int32_t shard, ItemId item, Version version,
     std::shared_ptr<const core::ForwardList> fl) {
-  if (config().record_protocol_events) {
-    ProtocolEvent event;
-    event.kind = ProtocolEventKind::kWindowDispatched;
-    event.item = item;
-    event.server = shard;
-    event.entries = SnapshotForwardList(*fl);
-    RecordEvent(std::move(event));
-    ProtocolEvent audit;
-    audit.kind = ProtocolEventKind::kGraphCheck;
-    audit.item = item;
-    audit.server = shard;
-    audit.flag = coordinator_->graph().IsAcyclic();
-    RecordEvent(std::move(audit));
+  if (config().record_protocol_events || tracer().enabled()) {
+    const bool acyclic = coordinator_->graph().IsAcyclic();
+    if (config().record_protocol_events) {
+      ProtocolEvent event;
+      event.kind = ProtocolEventKind::kWindowDispatched;
+      event.item = item;
+      event.server = shard;
+      event.entries = SnapshotForwardList(*fl);
+      RecordEvent(std::move(event));
+      ProtocolEvent audit;
+      audit.kind = ProtocolEventKind::kGraphCheck;
+      audit.item = item;
+      audit.server = shard;
+      audit.flag = acyclic;
+      RecordEvent(std::move(audit));
+    }
+    if (tracer().enabled()) {
+      obs::TraceEvent event;
+      event.kind = obs::EventKind::kWindowDispatch;
+      event.item = item;
+      event.shard = shard;
+      event.payload = static_cast<int64_t>(version);
+      event.entries = ObsSnapshotForwardList(*fl);
+      tracer().Emit(std::move(event));
+      obs::TraceEvent audit;
+      audit.kind = obs::EventKind::kGraphCheck;
+      audit.item = item;
+      audit.shard = shard;
+      audit.flag = acyclic;
+      tracer().Emit(std::move(audit));
+    }
   }
   for (int32_t e = 0; e < fl->num_entries(); ++e) {
     for (const core::FlMember& m : fl->entry(e).members) {
@@ -249,20 +292,39 @@ void ShardedG2plEngine::WmExpand(int32_t shard, ItemId item, Version version,
                                  std::shared_ptr<const core::ForwardList> fl,
                                  TxnId txn, SiteId client_site,
                                  int32_t member_index) {
-  if (config().record_protocol_events) {
-    ProtocolEvent event;
-    event.kind = ProtocolEventKind::kWindowExpanded;
-    event.txn = txn;
-    event.item = item;
-    event.server = shard;
-    event.entries = SnapshotForwardList(*fl);
-    RecordEvent(std::move(event));
-    ProtocolEvent audit;
-    audit.kind = ProtocolEventKind::kGraphCheck;
-    audit.item = item;
-    audit.server = shard;
-    audit.flag = coordinator_->graph().IsAcyclic();
-    RecordEvent(std::move(audit));
+  if (config().record_protocol_events || tracer().enabled()) {
+    const bool acyclic = coordinator_->graph().IsAcyclic();
+    if (config().record_protocol_events) {
+      ProtocolEvent event;
+      event.kind = ProtocolEventKind::kWindowExpanded;
+      event.txn = txn;
+      event.item = item;
+      event.server = shard;
+      event.entries = SnapshotForwardList(*fl);
+      RecordEvent(std::move(event));
+      ProtocolEvent audit;
+      audit.kind = ProtocolEventKind::kGraphCheck;
+      audit.item = item;
+      audit.server = shard;
+      audit.flag = acyclic;
+      RecordEvent(std::move(audit));
+    }
+    if (tracer().enabled()) {
+      obs::TraceEvent event;
+      event.kind = obs::EventKind::kWindowExpand;
+      event.txn = txn;
+      event.item = item;
+      event.shard = shard;
+      event.payload = static_cast<int64_t>(version);
+      event.entries = ObsSnapshotForwardList(*fl);
+      tracer().Emit(std::move(event));
+      obs::TraceEvent audit;
+      audit.kind = obs::EventKind::kGraphCheck;
+      audit.item = item;
+      audit.shard = shard;
+      audit.flag = acyclic;
+      tracer().Emit(std::move(audit));
+    }
   }
   TxnState& ts = EnsureTxn(txn, client_site - 1);
   ++ts.slots_outstanding;
@@ -351,6 +413,14 @@ void ShardedG2plEngine::OnReaderRelease(
     event.server = ShardOf(item);
     RecordEvent(std::move(event));
   }
+  if (tracer().enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kReaderRelease;
+    event.txn = writer_txn;
+    event.item = item;
+    event.shard = ShardOf(item);
+    tracer().Emit(std::move(event));
+  }
   Obligation& ob = obligations_[ObKey{writer_txn, item}];
   if (ob.fl == nullptr) {
     ob.fl = std::move(fl);
@@ -405,9 +475,32 @@ void ShardedG2plEngine::TryForward(TxnId txn, ItemId item) {
     event.server = ShardOf(item);
     RecordEvent(std::move(event));
   }
+  if (ts.committed && ob.is_writer && tracer().enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kWriterRelease;
+    event.txn = txn;
+    event.item = item;
+    event.shard = ShardOf(item);
+    tracer().Emit(std::move(event));
+  }
   const Version version_out =
       ts.committed && ob.is_writer ? ob.version + 1 : ob.version;
   const SiteId from = ts.client_index + 1;
+  if (tracer().enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kFlHandoff;
+    event.txn = txn;
+    event.site = from;
+    event.item = item;
+    event.shard = ShardOf(item);
+    event.flag = ts.committed;
+    event.mode = ob.is_writer ? 1 : 0;
+    event.payload = static_cast<int64_t>(version_out);
+    event.label = ob.fl->IsLastEntry(ob.entry)
+                      ? "return"
+                      : (!ob.is_writer ? "reader-release" : "forward");
+    tracer().Emit(std::move(event));
+  }
   if (ob.fl->IsLastEntry(ob.entry)) {
     const int32_t shard = ShardOf(item);
     network().Send(
@@ -548,6 +641,7 @@ void ShardedS2plEngine::ServerOnRequest(int32_t shard, TxnId txn,
                                         SiteId client_site, ItemId item,
                                         LockMode mode) {
   (void)client_site;
+  NoteRequestAtServer(txn, item, mode, shard);
   if (server_aborted_.count(txn) > 0) return;
   db::LockTable& table = *lock_tables_[static_cast<size_t>(shard)];
   const db::LockResult outcome = table.Request(txn, item, mode);
@@ -645,6 +739,15 @@ void ShardedS2plEngine::ServerOnRelease(int32_t shard, TxnId txn,
                                         std::vector<Update> updates) {
   GTPL_CHECK_EQ(server_aborted_.count(txn), 0u)
       << "a doomed transaction committed";
+  if (tracer().enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kLockRelease;
+    event.txn = txn;
+    event.site = ServerSiteOf(shard);
+    event.shard = shard;
+    event.payload = static_cast<int64_t>(updates.size());
+    tracer().Emit(std::move(event));
+  }
   for (const Update& update : updates) {
     store().Install(update.item, update.version);
     const int64_t lsn = server_wal().Append(db::LogRecordKind::kInstall, txn,

@@ -27,24 +27,44 @@ void Histogram::Add(double value) {
   ++buckets_[index];
 }
 
-double Histogram::Quantile(double q) const {
+double Histogram::Percentile(double q) const {
   GTPL_CHECK_GE(q, 0.0);
   GTPL_CHECK_LE(q, 1.0);
   if (count_ == 0) return 0.0;
-  const auto target = static_cast<int64_t>(q * static_cast<double>(count_));
-  int64_t cumulative = 0;
+  // Fractional target rank; the bucket covering it interpolates linearly.
+  // Keeping the rank a double (instead of truncating to an integer) is what
+  // makes the one-sample / tiny-count cases behave: one sample at any q > 0
+  // lands mid-bucket rather than at the bucket's lower edge.
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0.0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
-    if (cumulative + buckets_[i] >= target) {
+    const auto in_bucket = static_cast<double>(buckets_[i]);
+    if (in_bucket > 0.0 && cumulative + in_bucket >= target) {
       const double within =
-          buckets_[i] == 0
-              ? 0.0
-              : static_cast<double>(target - cumulative) /
-                    static_cast<double>(buckets_[i]);
+          std::max(0.0, (target - cumulative)) / in_bucket;
       return (static_cast<double>(i) + within) * bucket_width_;
     }
-    cumulative += buckets_[i];
+    cumulative += in_bucket;
   }
-  return max_value_;
+  return max_value_;  // rank falls in the overflow region
+}
+
+Percentiles Histogram::Summary() const {
+  Percentiles out;
+  out.p50 = Percentile(0.50);
+  out.p95 = Percentile(0.95);
+  out.p99 = Percentile(0.99);
+  if (overflow_ > 0) {
+    out.pmax = max_value_;
+  } else {
+    for (size_t i = buckets_.size(); i-- > 0;) {
+      if (buckets_[i] > 0) {
+        out.pmax = static_cast<double>(i + 1) * bucket_width_;
+        break;
+      }
+    }
+  }
+  return out;
 }
 
 std::string Histogram::ToAscii(int32_t width) const {

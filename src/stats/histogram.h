@@ -7,10 +7,22 @@
 
 namespace gtpl::stats {
 
+/// Summary quantiles of a Histogram (see Histogram::Summary).
+struct Percentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double pmax = 0.0;  // upper edge of the last occupied bucket
+};
+
 /// Fixed-bucket histogram over [0, max) with overflow bucket; used for
-/// response-time distributions in examples and diagnostics.
+/// response-time and queueing-delay distributions.
 class Histogram {
  public:
+  /// An inert single-bucket histogram over [0, 1); lets result structs hold
+  /// histograms by value before the engine sizes them for the run.
+  Histogram() : Histogram(1.0, 1) {}
+
   /// `num_buckets` equal-width buckets spanning [0, max_value); values >=
   /// max_value land in the overflow bucket.
   Histogram(double max_value, int32_t num_buckets);
@@ -21,11 +33,21 @@ class Histogram {
   int64_t bucket_count(int32_t i) const { return buckets_[i]; }
   int64_t overflow() const { return overflow_; }
   int32_t num_buckets() const { return static_cast<int32_t>(buckets_.size()); }
+  double max_value() const { return max_value_; }
 
-  /// Smallest value v such that at least q (in [0,1]) of samples are <= v,
-  /// linearly interpolated within the bucket. Returns max_value for the
-  /// overflow region.
-  double Quantile(double q) const;
+  /// Value at quantile `q` in [0,1], linearly interpolated within its
+  /// bucket: the q*count-th sample (fractional ranks interpolate) under the
+  /// assumption samples spread evenly inside each bucket. An empty
+  /// histogram reports 0; a quantile landing in the overflow bucket reports
+  /// max_value. A single sample reports the middle of its bucket at every
+  /// 0 < q <= 1 (unlike the old Quantile, whose truncated integer rank
+  /// collapsed small counts to the bucket's lower edge).
+  double Percentile(double q) const;
+
+  /// p50/p95/p99 via Percentile, plus pmax: the upper edge of the last
+  /// occupied bucket (max_value when the overflow bucket is occupied) — an
+  /// upper bound on the largest sample.
+  Percentiles Summary() const;
 
   /// Multi-line ASCII rendering (one row per non-empty bucket).
   std::string ToAscii(int32_t width = 50) const;

@@ -87,15 +87,23 @@ TEST(GoldenTest, Fig24LatencyGrid) {
   }
   const SweepResult sweep = RunSweep(points, /*runs=*/2, /*jobs=*/2);
   Table table({"pr", "latency", "protocol", "resp", "abort%", "msgs/commit",
-               "fl_len"});
+               "fl_len", "lockw", "prop", "think", "resp_p50", "resp_p99"});
   for (size_t i = 0; i < rows.size(); ++i) {
     const PointResult& point = sweep.points[i];
     EXPECT_FALSE(point.any_timed_out);
+    // The five span phases sum to the mean response of each replication, so
+    // the averaged phases must sum to the averaged response too.
+    EXPECT_NEAR(point.mean_lock_wait + point.mean_propagation +
+                    point.mean_queueing + point.mean_execution +
+                    point.mean_commit_phase,
+                point.response.mean, 1e-6 * point.response.mean + 1e-6);
     table.AddRow({Fmt(rows[i].pr, 1), std::to_string(rows[i].latency),
                   proto::ToString(rows[i].protocol),
                   Fmt(point.response.mean, 3), Fmt(point.abort_pct.mean, 3),
                   Fmt(point.mean_messages_per_commit, 3),
-                  Fmt(point.fl_length.mean, 3)});
+                  Fmt(point.fl_length.mean, 3), Fmt(point.mean_lock_wait, 3),
+                  Fmt(point.mean_propagation, 3), Fmt(point.mean_execution, 3),
+                  Fmt(point.response_p50, 3), Fmt(point.response_p99, 3)});
   }
   CompareOrUpdate("fig2_4_latency.golden", table.ToCsv());
 }
@@ -162,15 +170,22 @@ TEST(GoldenTest, ShardingGrid) {
   }
   const SweepResult sweep = RunSweep(points, /*runs=*/2, /*jobs=*/2);
   Table table({"protocol", "servers", "resp", "abort%", "xserver%", "parts",
-               "msgs/commit"});
+               "msgs/commit", "lockw", "commitph", "resp_p99"});
   for (size_t i = 0; i < rows.size(); ++i) {
     const PointResult& point = sweep.points[i];
     EXPECT_FALSE(point.any_timed_out);
+    EXPECT_NEAR(point.mean_lock_wait + point.mean_propagation +
+                    point.mean_queueing + point.mean_execution +
+                    point.mean_commit_phase,
+                point.response.mean, 1e-6 * point.response.mean + 1e-6);
     table.AddRow({proto::ToString(rows[i].protocol),
                   std::to_string(rows[i].servers), Fmt(point.response.mean, 3),
                   Fmt(point.abort_pct.mean, 3), Fmt(point.cross_server_pct, 3),
                   Fmt(point.mean_commit_participants, 3),
-                  Fmt(point.mean_messages_per_commit, 3)});
+                  Fmt(point.mean_messages_per_commit, 3),
+                  Fmt(point.mean_lock_wait, 3),
+                  Fmt(point.mean_commit_phase, 3),
+                  Fmt(point.response_p99, 3)});
   }
   CompareOrUpdate("sharding.golden", table.ToCsv());
 }

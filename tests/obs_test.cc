@@ -1,0 +1,170 @@
+// Unit tests of the observability substrate: the Tracer sink, event-kind
+// wire names, and the JSONL / Chrome exporters (round-trip through the
+// strict JSONL reader).
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace gtpl::obs {
+namespace {
+
+TEST(TracerTest, DisabledIsNoOp) {
+  Tracer tracer;
+  TraceEvent event;
+  event.kind = EventKind::kTxnBegin;
+  tracer.Emit(event);
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(TracerTest, StampsSeqAndSimTime) {
+  sim::Simulator sim;
+  Tracer tracer;
+  tracer.Attach(&sim);
+  tracer.Enable();
+  sim.Schedule(7, [&tracer] {
+    TraceEvent event;
+    event.kind = EventKind::kLockRequest;
+    event.txn = 3;
+    tracer.Emit(std::move(event));
+  });
+  sim.Schedule(7, [&tracer] {
+    TraceEvent event;
+    event.kind = EventKind::kLockGrant;
+    event.txn = 3;
+    tracer.Emit(std::move(event));
+  });
+  sim.Schedule(12, [&tracer] {
+    TraceEvent event;
+    event.kind = EventKind::kTxnCommit;
+    event.txn = 3;
+    tracer.Emit(std::move(event));
+  });
+  sim.Run();
+  ASSERT_EQ(tracer.events().size(), 3u);
+  // Same-tick events keep schedule order via the seq tiebreak.
+  EXPECT_EQ(tracer.events()[0].seq, 0u);
+  EXPECT_EQ(tracer.events()[0].time, 7);
+  EXPECT_EQ(tracer.events()[0].kind, EventKind::kLockRequest);
+  EXPECT_EQ(tracer.events()[1].seq, 1u);
+  EXPECT_EQ(tracer.events()[1].time, 7);
+  EXPECT_EQ(tracer.events()[2].seq, 2u);
+  EXPECT_EQ(tracer.events()[2].time, 12);
+
+  const std::vector<TraceEvent> taken = tracer.Take();
+  EXPECT_EQ(taken.size(), 3u);
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(EventKindTest, NamesRoundTrip) {
+  for (int i = 0; i <= static_cast<int>(EventKind::kMsgDeliver); ++i) {
+    const auto kind = static_cast<EventKind>(i);
+    EventKind parsed;
+    ASSERT_TRUE(ParseEventKind(ToString(kind), &parsed)) << ToString(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  EventKind parsed;
+  EXPECT_FALSE(ParseEventKind("not_a_kind", &parsed));
+  EXPECT_FALSE(ParseEventKind("", &parsed));
+}
+
+std::vector<TraceEvent> SampleEvents() {
+  std::vector<TraceEvent> events;
+  TraceEvent begin;
+  begin.seq = 0;
+  begin.time = 5;
+  begin.kind = EventKind::kTxnBegin;
+  begin.txn = 1;
+  begin.site = 2;
+  begin.payload = 4;
+  events.push_back(begin);
+
+  TraceEvent window;
+  window.seq = 1;
+  window.time = 505;
+  window.kind = EventKind::kWindowDispatch;
+  window.item = 9;
+  window.shard = 1;
+  window.payload = 3;
+  window.label = "dispatch";
+  FlEntrySnapshot writer;
+  writer.is_read_group = false;
+  writer.txns = {1};
+  FlEntrySnapshot readers;
+  readers.is_read_group = true;
+  readers.txns = {2, 5, 7};
+  window.entries = {writer, readers};
+  events.push_back(window);
+
+  TraceEvent commit;
+  commit.seq = 2;
+  commit.time = 2005;
+  commit.kind = EventKind::kTxnCommit;
+  commit.txn = 1;
+  commit.site = 2;
+  commit.mode = 1;
+  commit.flag = true;
+  commit.payload = 2000;
+  commit.d0 = 900;
+  commit.d1 = 1000;
+  commit.d2 = 50;
+  commit.d3 = 40;
+  commit.d4 = 10;
+  commit.label = "with \"quotes\" and \\slashes\\";
+  events.push_back(commit);
+  return events;
+}
+
+TEST(ExportTest, JsonlRoundTrip) {
+  const std::vector<TraceEvent> events = SampleEvents();
+  const std::string jsonl = ToJsonl(events);
+  std::istringstream in(jsonl);
+  std::vector<TraceEvent> parsed;
+  std::string error;
+  ASSERT_TRUE(ReadJsonl(in, &parsed, &error)) << error;
+  EXPECT_EQ(parsed, events);
+}
+
+TEST(ExportTest, JsonlRejectsGarbage) {
+  std::istringstream in("{\"seq\":0,\"t\":1,\"kind\":\"no_such_kind\"}\n");
+  std::vector<TraceEvent> parsed;
+  std::string error;
+  EXPECT_FALSE(ReadJsonl(in, &parsed, &error));
+  EXPECT_FALSE(error.empty());
+
+  std::istringstream truncated("{\"seq\":0,\"t\":1");
+  parsed.clear();
+  EXPECT_FALSE(ReadJsonl(truncated, &parsed, &error));
+}
+
+TEST(ExportTest, JsonlIsOneObjectPerLine) {
+  const std::string jsonl = ToJsonl(SampleEvents());
+  size_t lines = 0;
+  for (char c : jsonl) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3u);
+  EXPECT_EQ(jsonl.back(), '\n');
+}
+
+TEST(ExportTest, ChromeTraceSmoke) {
+  std::ostringstream out;
+  WriteChromeTrace(SampleEvents(), out);
+  const std::string json = out.str();
+  // A JSON array with a complete slice ("ph":"X") for the committed txn and
+  // instant events for the rest.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("txn 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gtpl::obs

@@ -119,13 +119,68 @@ TEST(HistogramTest, CountsAndOverflow) {
 TEST(HistogramTest, QuantilesOrdered) {
   Histogram h(1000.0, 100);
   for (int i = 0; i < 1000; ++i) h.Add(i);
-  const double p50 = h.Quantile(0.5);
-  const double p90 = h.Quantile(0.9);
-  const double p99 = h.Quantile(0.99);
+  const double p50 = h.Percentile(0.5);
+  const double p90 = h.Percentile(0.9);
+  const double p99 = h.Percentile(0.99);
   EXPECT_NEAR(p50, 500, 20);
   EXPECT_NEAR(p90, 900, 20);
   EXPECT_LE(p50, p90);
   EXPECT_LE(p90, p99);
+}
+
+TEST(HistogramTest, PercentileEmpty) {
+  Histogram h(100.0, 10);
+  EXPECT_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_EQ(h.Percentile(1.0), 0.0);
+  const Percentiles s = h.Summary();
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+  EXPECT_EQ(s.pmax, 0.0);
+}
+
+TEST(HistogramTest, PercentileOneSample) {
+  // The old integer-rank Quantile reported 0 for a lone sample at any
+  // q < 1; the corrected interpolation lands inside the sample's bucket.
+  Histogram h(100.0, 10);
+  h.Add(55.0);  // bucket [50, 60)
+  EXPECT_GE(h.Percentile(0.5), 50.0);
+  EXPECT_LE(h.Percentile(0.5), 60.0);
+  EXPECT_GE(h.Percentile(0.99), 50.0);
+  EXPECT_LE(h.Percentile(0.99), 60.0);
+  EXPECT_EQ(h.Summary().pmax, 60.0);
+}
+
+TEST(HistogramTest, PercentileOverflowBucket) {
+  Histogram h(100.0, 10);
+  for (int i = 0; i < 90; ++i) h.Add(static_cast<double>(i));
+  for (int i = 0; i < 10; ++i) h.Add(1000.0);  // 10% overflow
+  EXPECT_LT(h.Percentile(0.5), 100.0);
+  // p99 ranks inside the overflow region: reported as max_value.
+  EXPECT_EQ(h.Percentile(0.99), 100.0);
+  EXPECT_EQ(h.Percentile(1.0), 100.0);
+  EXPECT_EQ(h.Summary().pmax, 100.0);
+}
+
+TEST(HistogramTest, PercentileMonotoneAcrossBuckets) {
+  Histogram h(100.0, 10);
+  for (int i = 0; i < 100; ++i) h.Add(static_cast<double>(i));
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.Percentile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_NEAR(h.Percentile(0.95), 95.0, 5.0);
+}
+
+TEST(HistogramTest, DefaultConstructedIsInert) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Percentile(0.99), 0.0);
+  h.Add(5.0);  // lands in overflow (max_value = 1)
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.overflow(), 1);
 }
 
 TEST(HistogramTest, AsciiRenderingNonEmpty) {

@@ -1,0 +1,126 @@
+// Determinism contract of the observability trace (DESIGN.md §11):
+//
+//  1. Same seed => byte-identical JSONL, run to run.
+//  2. The trace is buffered per replication and written post-hoc, so the
+//     worker-thread count cannot reorder it: --jobs=1 and --jobs=4 produce
+//     identical per-replication traces.
+//  3. Tracing is observation only: enabling obs_trace changes no metric —
+//     every engine output is bit-identical with tracing on or off.
+//
+// All five protocols plus 4-way-sharded g-2PL / s-2PL are covered.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "obs/export.h"
+#include "protocols/config.h"
+#include "protocols/engine.h"
+
+namespace gtpl::proto {
+namespace {
+
+SimConfig SmallConfig(Protocol protocol, int32_t servers = 1) {
+  SimConfig config;
+  config.protocol = protocol;
+  config.num_clients = 12;
+  config.num_servers = servers;
+  config.workload.num_items = 25;
+  config.latency = 250;
+  config.measured_txns = 150;
+  config.warmup_txns = 20;
+  config.seed = 1234;
+  config.max_sim_time = 10'000'000'000;
+  return config;
+}
+
+std::vector<SimConfig> AllEngines() {
+  return {SmallConfig(Protocol::kS2pl),      SmallConfig(Protocol::kG2pl),
+          SmallConfig(Protocol::kC2pl),      SmallConfig(Protocol::kCbl),
+          SmallConfig(Protocol::kO2pl),      SmallConfig(Protocol::kS2pl, 4),
+          SmallConfig(Protocol::kG2pl, 4)};
+}
+
+TEST(TraceDeterminismTest, SameSeedSameBytes) {
+  for (SimConfig config : AllEngines()) {
+    config.obs_trace = true;
+    const RunResult first = RunSimulation(config);
+    const RunResult second = RunSimulation(config);
+    ASSERT_FALSE(first.obs_trace.empty())
+        << "protocol " << ToString(config.protocol);
+    EXPECT_EQ(obs::ToJsonl(first.obs_trace), obs::ToJsonl(second.obs_trace))
+        << "protocol " << ToString(config.protocol) << " servers "
+        << config.num_servers;
+  }
+}
+
+TEST(TraceDeterminismTest, WorkerCountInvariant) {
+  // RunReplicated fans replications across worker threads; traces are
+  // buffered per replication, so the per-replication JSONL must not depend
+  // on the job count.
+  for (SimConfig config :
+       {SmallConfig(Protocol::kG2pl), SmallConfig(Protocol::kS2pl, 4)}) {
+    config.obs_trace = true;
+    const harness::PointResult serial =
+        harness::RunReplicated(config, /*runs=*/4, /*jobs=*/1);
+    const harness::PointResult parallel =
+        harness::RunReplicated(config, /*runs=*/4, /*jobs=*/4);
+    ASSERT_EQ(serial.traces.size(), 4u);
+    ASSERT_EQ(parallel.traces.size(), 4u);
+    for (size_t rep = 0; rep < serial.traces.size(); ++rep) {
+      EXPECT_EQ(obs::ToJsonl(serial.traces[rep]),
+                obs::ToJsonl(parallel.traces[rep]))
+          << "protocol " << ToString(config.protocol) << " replication "
+          << rep;
+    }
+  }
+}
+
+TEST(TraceDeterminismTest, TracingPerturbsNothing) {
+  for (const SimConfig& config : AllEngines()) {
+    SimConfig off = config;
+    off.obs_trace = false;
+    SimConfig on = config;
+    on.obs_trace = true;
+    const RunResult without = RunSimulation(off);
+    const RunResult with = RunSimulation(on);
+    const std::string what = std::string(ToString(config.protocol)) +
+                             " servers " +
+                             std::to_string(config.num_servers);
+    EXPECT_TRUE(without.obs_trace.empty()) << what;
+    EXPECT_FALSE(with.obs_trace.empty()) << what;
+    EXPECT_EQ(without.response.mean(), with.response.mean()) << what;
+    EXPECT_EQ(without.response.count(), with.response.count()) << what;
+    EXPECT_EQ(without.op_wait.mean(), with.op_wait.mean()) << what;
+    EXPECT_EQ(without.commits, with.commits) << what;
+    EXPECT_EQ(without.aborts, with.aborts) << what;
+    EXPECT_EQ(without.total_commits, with.total_commits) << what;
+    EXPECT_EQ(without.total_aborts, with.total_aborts) << what;
+    EXPECT_EQ(without.events, with.events) << what;
+    EXPECT_EQ(without.end_time, with.end_time) << what;
+    EXPECT_EQ(without.network.messages, with.network.messages) << what;
+    EXPECT_EQ(without.network.payload_units, with.network.payload_units)
+        << what;
+    EXPECT_EQ(without.span_lock_wait.mean(), with.span_lock_wait.mean())
+        << what;
+    EXPECT_EQ(without.span_commit.mean(), with.span_commit.mean()) << what;
+  }
+}
+
+TEST(TraceDeterminismTest, SeqIsDenseAndTimeMonotone) {
+  SimConfig config = SmallConfig(Protocol::kG2pl, 4);
+  config.obs_trace = true;
+  const RunResult result = RunSimulation(config);
+  ASSERT_FALSE(result.obs_trace.empty());
+  for (size_t i = 0; i < result.obs_trace.size(); ++i) {
+    EXPECT_EQ(result.obs_trace[i].seq, i);
+    if (i > 0) {
+      EXPECT_GE(result.obs_trace[i].time, result.obs_trace[i - 1].time);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gtpl::proto
