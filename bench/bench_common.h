@@ -65,6 +65,43 @@ class Grid {
   harness::SweepResult result_;
 };
 
+/// Grid plus per-row sweep coordinates: most benches tag every queued point
+/// with the sweep coordinates its table row needs (protocol, latency, ...),
+/// run the grid, then zip tags with results. TagGrid owns that
+/// tag/index/rows boilerplate so benches stop copying it.
+template <typename Tag>
+class TagGrid {
+ public:
+  explicit TagGrid(const harness::CliOptions& options) : grid_(options) {}
+
+  /// Queues one configuration point under its row tag.
+  void Add(const Tag& tag, const proto::SimConfig& config) {
+    entries_.push_back(Entry{tag, grid_.Add(config)});
+  }
+
+  /// Runs every queued point across the worker threads.
+  void Run() { grid_.Run(); }
+
+  /// Calls fn(tag, point_result) for every queued point, in Add() order.
+  template <typename Fn>
+  void Each(Fn&& fn) const {
+    for (const Entry& entry : entries_) {
+      fn(entry.tag, grid_.Result(entry.index));
+    }
+  }
+
+  void PrintSummary() const { grid_.PrintSummary(); }
+
+ private:
+  struct Entry {
+    Tag tag;
+    size_t index;
+  };
+
+  Grid grid_;
+  std::vector<Entry> entries_;
+};
+
 /// The paper's Table 1 base configuration: 50 clients, 25 hot items, 1-5
 /// items per transaction, think U[1,3], idle U[2,10], MPL 1.
 inline proto::SimConfig PaperBaseConfig() {

@@ -15,17 +15,16 @@
 namespace gtpl::bench {
 namespace {
 
+struct Row {
+  proto::Protocol protocol;
+  int32_t servers;
+  SimTime latency;
+};
+
 void Run(const harness::CliOptions& options) {
   harness::Table table({"protocol", "servers", "latency", "resp", "abort%",
                         "xserver%", "parts", "msgs/commit", "ci%"});
-  Grid grid(options);
-  struct Row {
-    proto::Protocol protocol;
-    int32_t servers;
-    SimTime latency;
-    size_t index;
-  };
-  std::vector<Row> rows;
+  TagGrid<Row> grid(options);
   for (proto::Protocol protocol :
        {proto::Protocol::kS2pl, proto::Protocol::kG2pl}) {
     for (int32_t servers : {1, 2, 4, 8}) {
@@ -35,13 +34,12 @@ void Run(const harness::CliOptions& options) {
         config.protocol = protocol;
         config.latency = latency;
         config.num_servers = servers;
-        rows.push_back({protocol, servers, latency, grid.Add(config)});
+        grid.Add(Row{protocol, servers, latency}, config);
       }
     }
   }
   grid.Run();
-  for (const Row& row : rows) {
-    const harness::PointResult& point = grid.Result(row.index);
+  grid.Each([&table](const Row& row, const harness::PointResult& point) {
     table.AddRow({proto::ToString(row.protocol), std::to_string(row.servers),
                   std::to_string(row.latency),
                   harness::Fmt(point.response.mean, 0),
@@ -50,7 +48,7 @@ void Run(const harness::CliOptions& options) {
                   harness::Fmt(point.mean_commit_participants, 2),
                   harness::Fmt(point.mean_messages_per_commit, 1),
                   harness::Fmt(100 * point.response.relative_precision, 1)});
-  }
+  });
   table.Print(options.csv_path);
   grid.PrintSummary();
 }

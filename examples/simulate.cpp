@@ -11,6 +11,7 @@
 #include <fstream>
 #include <string>
 
+#include "cc/registry.h"
 #include "harness/cli.h"
 #include "harness/experiment.h"
 #include "harness/table.h"
@@ -56,7 +57,9 @@ void PrintUsage(const char* prog) {
   std::fprintf(
       stderr,
       "usage: %s [flags]\n"
-      "  --protocol=s2pl|g2pl|c2pl|cbl|o2pl   (default s2pl)\n"
+      "  --protocol=NAME      registered cc engine (default s2pl); --cc=NAME\n"
+      "                       is an alias. Registered engines:\n"
+      "                       %s\n"
       "  --clients=N          number of client sites (default 50)\n"
       "  --servers=N          data servers the items shard across (1)\n"
       "  --routing=hash|range item-to-shard routing (hash)\n"
@@ -93,7 +96,7 @@ void PrintUsage(const char* prog) {
       "                       (runs > 1 append .repN per replication)\n"
       "  --trace-format=jsonl|chrome   trace file format (jsonl; chrome\n"
       "                       loads into chrome://tracing / Perfetto)\n",
-      prog);
+      prog, gtpl::cc::EngineNames().c_str());
 }
 
 bool ParseFlag(const std::string& arg, Flags* flags) {
@@ -104,19 +107,19 @@ bool ParseFlag(const std::string& arg, Flags* flags) {
   };
   gtpl::proto::SimConfig& config = flags->config;
   if (const char* v1 = value_of("--protocol=")) {
-    const std::string name = v1;
-    if (name == "s2pl") {
-      config.protocol = gtpl::proto::Protocol::kS2pl;
-    } else if (name == "g2pl") {
-      config.protocol = gtpl::proto::Protocol::kG2pl;
-    } else if (name == "c2pl") {
-      config.protocol = gtpl::proto::Protocol::kC2pl;
-    } else if (name == "cbl") {
-      config.protocol = gtpl::proto::Protocol::kCbl;
-    } else if (name == "o2pl") {
-      config.protocol = gtpl::proto::Protocol::kO2pl;
-    } else {
+    // Strict: unknown names fail (non-zero exit) listing the registry.
+    const gtpl::Status status =
+        gtpl::cc::ParseEngineName(v1, &config.protocol);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
       return BadValue("--protocol", v1);
+    }
+  } else if (const char* vcc = value_of("--cc=")) {
+    const gtpl::Status status =
+        gtpl::cc::ParseEngineName(vcc, &config.protocol);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return BadValue("--cc", vcc);
     }
   } else if (const char* v2 = value_of("--clients=")) {
     return ParseInt32Flag("--clients", v2, &config.num_clients);

@@ -1,0 +1,241 @@
+#include "cc/lock_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace gtpl::cc {
+
+using proto::RunResult;
+using proto::SimConfig;
+
+LockCcEngine::LockCcEngine(const SimConfig& config,
+                           std::unique_ptr<ConflictPolicy> policy,
+                           LockEngineTraits traits)
+    : ShardedEngineBase(config),
+      policy_(std::move(policy)),
+      traits_(traits) {
+  lock_tables_.reserve(static_cast<size_t>(config.num_servers));
+  for (int32_t shard = 0; shard < config.num_servers; ++shard) {
+    lock_tables_.push_back(
+        std::make_unique<db::LockTable>(config.workload.num_items));
+  }
+}
+
+void LockCcEngine::SendRequest(TxnRun& run) {
+  const TxnId txn = run.id;
+  const SiteId site = run.site();
+  const workload::Operation op = run.op();
+  const int32_t shard = ShardOf(op.item);
+  network().Send(site, ServerSiteOf(shard), "lock-request",
+                 [this, shard, txn, site, op] {
+                   ServerOnRequest(shard, txn, site, op.item, op.mode);
+                 });
+}
+
+void LockCcEngine::ServerOnRequest(int32_t shard, TxnId txn,
+                                   SiteId client_site, ItemId item,
+                                   LockMode mode) {
+  (void)client_site;
+  NoteRequestAtServer(txn, item, mode, shard);
+  if (server_aborted_.count(txn) > 0) return;  // stale request of a victim
+  db::LockTable& table = *lock_tables_[static_cast<size_t>(shard)];
+  const db::LockResult outcome = table.Request(txn, item, mode);
+  if (outcome == db::LockResult::kGranted) {
+    SendGrant(shard, txn, item, mode);
+    return;
+  }
+  // Blocked: the policy resolves the conflict on the *global* coordination
+  // plane (shared across shards, like the old waits-for graph), so
+  // cross-shard conflicts are handled exactly like local ones. The blocker
+  // set includes conflicting holders and conflicting earlier waiters.
+  current_shard_ = shard;
+  policy_->OnBlocked(txn, item, table.Blockers(txn, item), *this);
+}
+
+void LockCcEngine::SendGrant(int32_t shard, TxnId txn, ItemId item,
+                             LockMode mode) {
+  (void)mode;
+  TxnRun* run = FindRun(txn);
+  if (run == nullptr) return;  // finished in the meantime (nothing to ship)
+  const Version version = store().VersionOf(item);
+  network().Send(
+      ServerSiteOf(shard), run->site(), "grant+data",
+      [this, txn, item, version] {
+        TxnRun* target = FindRun(txn);
+        if (target == nullptr || target->finished || target->doomed) {
+          return;
+        }
+        GTPL_CHECK_EQ(target->op().item, item);
+        OpGranted(*target, version);
+      },
+      net::kControlPayload + net::kDataPayload);
+}
+
+void LockCcEngine::AbortTxn(TxnId victim) {
+  GTPL_CHECK(server_aborted_.insert(victim).second);
+  ++policy_aborts_;
+  policy_->OnTxnFinished(victim);
+  // The victim's locks are dropped on every shard at decision time (the
+  // instantaneous coordination plane; see the determinism contract).
+  for (int32_t shard = 0; shard < num_servers(); ++shard) {
+    lock_tables_[static_cast<size_t>(shard)]->ReleaseAll(
+        victim, [this, shard](TxnId txn, ItemId item, LockMode mode) {
+          policy_->OnWaiterGranted(txn);
+          SendGrant(shard, txn, item, mode);
+        });
+  }
+  TxnRun* run = FindRun(victim);
+  GTPL_CHECK(run != nullptr) << "policy victim is not an active txn";
+  ServerAbortDecision(victim, run->site(), ServerSiteOf(current_shard_));
+}
+
+ItemId LockCcEngine::MaxHeldItem(TxnId txn) const {
+  ItemId held = kInvalidItem;
+  for (const auto& table : lock_tables_) {
+    for (ItemId item : table->HeldItems(txn)) {
+      held = std::max(held, item);
+    }
+  }
+  return held;
+}
+
+void LockCcEngine::DoCommit(TxnRun& run) {
+  // One release message per participant shard, carrying that shard's
+  // updates (these releases are the effective phase two of a cross-server
+  // commit; single-shard transactions send exactly the one message the
+  // single-server engine sends). Shards that already released at prepare
+  // time (release_at_prepare) are skipped — they have nothing left to do.
+  std::vector<std::vector<Update>> updates_by(
+      static_cast<size_t>(num_servers()));
+  std::vector<bool> touched(static_cast<size_t>(num_servers()), false);
+  for (const proto::OpRecord& record : run.records) {
+    const size_t shard = static_cast<size_t>(ShardOf(record.item));
+    touched[shard] = true;
+    if (record.mode == LockMode::kExclusive) {
+      updates_by[shard].push_back(Update{record.item, record.version_written});
+    }
+  }
+  const TxnId txn = run.id;
+  auto early = early_released_.find(txn);
+  if (early != early_released_.end()) {
+    for (int32_t shard : early->second) {
+      touched[static_cast<size_t>(shard)] = false;
+    }
+    early_released_.erase(early);
+  }
+  int32_t participants = 0;
+  for (const bool t : touched) participants += t ? 1 : 0;
+  if (participants == 0) {
+    // Every shard released at prepare; the txn already left the server
+    // plane, and its installs are all permanent — client log can truncate.
+    policy_->OnTxnFinished(txn);
+    MaybeGcClientLogs();
+    return;
+  }
+  pending_releases_[txn] = participants;
+  for (int32_t shard = 0; shard < num_servers(); ++shard) {
+    if (!touched[static_cast<size_t>(shard)]) continue;
+    std::vector<Update>& updates = updates_by[static_cast<size_t>(shard)];
+    const uint64_t payload =
+        net::kControlPayload + net::kDataPayload * updates.size();
+    network().Send(
+        run.site(), ServerSiteOf(shard), "release",
+        [this, shard, txn, updates = std::move(updates)] {
+          ServerOnRelease(shard, txn, updates);
+        },
+        payload);
+  }
+}
+
+void LockCcEngine::ServerOnRelease(int32_t shard, TxnId txn,
+                                   std::vector<Update> updates) {
+  GTPL_CHECK_EQ(server_aborted_.count(txn), 0u)
+      << "a doomed transaction committed";
+  if (tracer().enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kLockRelease;
+    event.txn = txn;
+    event.site = ServerSiteOf(shard);
+    event.shard = shard;
+    event.payload = static_cast<int64_t>(updates.size());
+    tracer().Emit(std::move(event));
+  }
+  for (const Update& update : updates) {
+    store().Install(update.item, update.version);
+    const int64_t lsn = server_wal().Append(db::LogRecordKind::kInstall, txn,
+                                            update.item, update.version);
+    server_wal().Force(lsn);
+  }
+  MaybeGcClientLogs();
+  // The transaction leaves the policy's books only once its last shard
+  // released (it still holds locks elsewhere until then).
+  auto pending = pending_releases_.find(txn);
+  GTPL_CHECK(pending != pending_releases_.end());
+  if (--pending->second == 0) {
+    pending_releases_.erase(pending);
+    policy_->OnTxnFinished(txn);
+  }
+  lock_tables_[static_cast<size_t>(shard)]->ReleaseAll(
+      txn, [this, shard](TxnId granted, ItemId item, LockMode mode) {
+        policy_->OnWaiterGranted(granted);
+        SendGrant(shard, granted, item, mode);
+      });
+}
+
+void LockCcEngine::ReleaseShardEarly(int32_t shard, TxnId txn) {
+  TxnRun* run = FindRun(txn);
+  GTPL_CHECK(run != nullptr) << "prepare for a txn without a run";
+  if (tracer().enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kLockRelease;
+    event.txn = txn;
+    event.site = ServerSiteOf(shard);
+    event.shard = shard;
+    event.label = "early-release";
+    tracer().Emit(std::move(event));
+  }
+  for (const proto::OpRecord& record : run->records) {
+    if (ShardOf(record.item) != shard) continue;
+    if (record.mode != LockMode::kExclusive) continue;
+    store().Install(record.item, record.version_written);
+    const int64_t lsn = server_wal().Append(
+        db::LogRecordKind::kInstall, txn, record.item, record.version_written);
+    server_wal().Force(lsn);
+  }
+  early_released_[txn].push_back(shard);
+  lock_tables_[static_cast<size_t>(shard)]->ReleaseAll(
+      txn, [this, shard](TxnId granted, ItemId item, LockMode mode) {
+        policy_->OnWaiterGranted(granted);
+        SendGrant(shard, granted, item, mode);
+      });
+}
+
+void LockCcEngine::OnClientAborted(TxnRun& run) {
+  // Server state was already cleaned on every shard at decision time.
+  (void)run;
+}
+
+bool LockCcEngine::ShardVote(int32_t shard, TxnId txn) {
+  if (server_aborted_.count(txn) > 0) return false;  // safety net
+  // A yes vote is a commit promise (abort decisions only target blocked
+  // requesters, and this txn is at its commit point): the ordered-release
+  // variant cashes it in immediately.
+  if (traits_.release_at_prepare) ReleaseShardEarly(shard, txn);
+  return true;
+}
+
+void LockCcEngine::OnCommitDecision(int32_t shard, TxnId txn) {
+  // The per-shard release messages (DoCommit) carry the actual lock
+  // releases and updates; the decision message only logs the outcome.
+  (void)shard;
+  (void)txn;
+}
+
+void LockCcEngine::FillProtocolMetrics(RunResult* result) {
+  result->cross_server_commits = cross_server_commits_;
+  result->commit_participants = commit_participants_;
+}
+
+}  // namespace gtpl::cc

@@ -1,0 +1,356 @@
+#include "cc/occ.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace gtpl::cc {
+
+using proto::ProtocolEvent;
+using proto::ProtocolEventKind;
+using proto::RunResult;
+using proto::SimConfig;
+
+OccEngine::OccEngine(const SimConfig& config)
+    : ShardedEngineBase(config),
+      reserved_(static_cast<size_t>(config.num_servers)),
+      prepared_(static_cast<size_t>(config.num_servers)) {}
+
+// ---------------------------------------------------------------------------
+// Read phase: one lock-free request/data round per operation
+// ---------------------------------------------------------------------------
+
+void OccEngine::SendRequest(TxnRun& run) {
+  const TxnId txn = run.id;
+  const SiteId site = run.site();
+  const workload::Operation op = run.op();
+  const int32_t shard = ShardOf(op.item);
+  network().Send(site, ServerSiteOf(shard), "read-request",
+                 [this, shard, txn, site, op] {
+                   OnRead(shard, txn, site, op.item, op.mode);
+                 });
+}
+
+void OccEngine::OnRead(int32_t shard, TxnId txn, SiteId client_site,
+                       ItemId item, LockMode mode) {
+  (void)client_site;
+  NoteRequestAtServer(txn, item, mode, shard);
+  TxnRun* run = FindRun(txn);
+  if (run == nullptr) return;
+  const Version version = store().VersionOf(item);
+  network().Send(
+      ServerSiteOf(shard), run->site(), "data",
+      [this, txn, item, version] {
+        TxnRun* target = FindRun(txn);
+        if (target == nullptr || target->finished || target->doomed) {
+          return;
+        }
+        GTPL_CHECK_EQ(target->op().item, item);
+        OpGranted(*target, version);
+      },
+      net::kControlPayload + net::kDataPayload);
+}
+
+// ---------------------------------------------------------------------------
+// Commit: backward validation at the owning server(s)
+// ---------------------------------------------------------------------------
+
+void OccEngine::StartCommit(TxnRun& run) {
+  GTPL_CHECK(!run.finished);
+  GTPL_CHECK(!run.doomed);
+  const TxnId txn = run.id;
+  std::vector<int32_t> participants = ParticipantsOf(run);
+  if (participants.size() <= 1) {
+    GTPL_CHECK_EQ(participants.size(), 1u);
+    SendValidate(participants[0], run, /*multi=*/false);
+    return;
+  }
+  // Phase one, as in ShardedEngineBase::StartCommit: the coordinator
+  // (client) forces its prepare record, then the validates fan out.
+  ClientState& client = ClientAt(run.client_index);
+  const int64_t lsn = client.wal->Append(db::LogRecordKind::kPrepare, txn,
+                                         kInvalidItem, 0);
+  const SimTime force_delay = client.wal->Force(lsn);
+  VoteCtx ctx;
+  ctx.votes_pending = static_cast<int32_t>(participants.size());
+  ctx.participants = participants;
+  votes_[txn] = std::move(ctx);
+  auto send_validates = [this, txn, participants = std::move(participants)] {
+    TxnRun* current = FindRun(txn);
+    if (current == nullptr || current->finished || current->doomed) {
+      votes_.erase(txn);
+      return;
+    }
+    for (int32_t shard : participants) {
+      SendValidate(shard, *current, /*multi=*/true);
+    }
+  };
+  if (force_delay > 0) {
+    simulator().Schedule(force_delay, std::move(send_validates));
+  } else {
+    send_validates();
+  }
+}
+
+void OccEngine::SendValidate(int32_t shard, TxnRun& run, bool multi) {
+  std::vector<proto::OpRecord> slice;
+  uint64_t writes = 0;
+  for (const proto::OpRecord& record : run.records) {
+    if (ShardOf(record.item) != shard) continue;
+    slice.push_back(record);
+    writes += record.mode == LockMode::kExclusive ? 1 : 0;
+  }
+  // The validate ships the shard's read versions (control) plus the write
+  // values, so the later decision message can stay control-only.
+  const uint64_t payload = net::kControlPayload + net::kDataPayload * writes;
+  network().Send(
+      run.site(), ServerSiteOf(shard), "validate",
+      [this, shard, txn = run.id, site = run.site(),
+       slice = std::move(slice), multi] {
+        OnValidate(shard, txn, site, std::move(slice), multi);
+      },
+      payload);
+}
+
+void OccEngine::OnValidate(int32_t shard, TxnId txn, SiteId client_site,
+                           std::vector<proto::OpRecord> records, bool multi) {
+  if (multi) {
+    if (config().record_protocol_events) {
+      ProtocolEvent event;
+      event.kind = ProtocolEventKind::kPrepareArrived;
+      event.txn = txn;
+      event.server = shard;
+      RecordEvent(std::move(event));
+    }
+    if (tracer().enabled()) {
+      obs::TraceEvent event;
+      event.kind = obs::EventKind::kPrepare;
+      event.txn = txn;
+      event.shard = shard;
+      event.site = ServerSiteOf(shard);
+      tracer().Emit(std::move(event));
+    }
+  }
+  TxnRun* run = FindRun(txn);
+  const bool alive = run != nullptr && !run->finished && !run->doomed;
+  const bool ok = alive && ValidateOnShard(shard, records);
+  if (!multi) {
+    if (!ok) {
+      if (alive) {
+        ++validation_failures_;
+        ServerAbortDecision(txn, run->site(), ServerSiteOf(shard));
+      }
+      return;
+    }
+    // Validate + install are atomic at the server: the validation instant
+    // is the serialization point, then the commit-ok closes the round.
+    InstallOnShard(txn, records);
+    network().Send(ServerSiteOf(shard), client_site, "commit-ok",
+                   [this, txn] {
+                     TxnRun* target = FindRun(txn);
+                     if (target == nullptr || target->finished ||
+                         target->doomed) {
+                       return;
+                     }
+                     EngineBase::StartCommit(*target);
+                   });
+    return;
+  }
+  if (ok) {
+    Reserve(shard, txn, records);
+    prepared_[static_cast<size_t>(shard)][txn] = std::move(records);
+    // The participant forces its own prepare record before voting yes.
+    const int64_t lsn = server_wal().Append(db::LogRecordKind::kPrepare, txn,
+                                            kInvalidItem, 0);
+    server_wal().Force(lsn);
+  } else if (alive) {
+    ++validation_failures_;
+    ServerAbortDecision(txn, run->site(), ServerSiteOf(shard));
+  }
+  // client_site was captured at send time: the vote must be deliverable
+  // even when the run is already gone (it is dropped at tally time).
+  network().Send(ServerSiteOf(shard), client_site, "vote",
+                 [this, txn, shard, ok] { OnOccVote(txn, shard, ok); });
+}
+
+void OccEngine::OnOccVote(TxnId txn, int32_t shard, bool yes) {
+  if (config().record_protocol_events) {
+    ProtocolEvent event;
+    event.kind = ProtocolEventKind::kVoteArrived;
+    event.txn = txn;
+    event.server = shard;
+    event.flag = yes;
+    RecordEvent(std::move(event));
+  }
+  if (tracer().enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kVote;
+    event.txn = txn;
+    event.shard = shard;
+    event.flag = yes;
+    tracer().Emit(std::move(event));
+  }
+  auto it = votes_.find(txn);
+  if (it == votes_.end()) return;
+  VoteCtx& ctx = it->second;
+  ctx.all_yes = ctx.all_yes && yes;
+  if (--ctx.votes_pending > 0) return;
+  const bool all_yes = ctx.all_yes;
+  const std::vector<int32_t> participants = std::move(ctx.participants);
+  votes_.erase(it);
+  TxnRun* run = FindRun(txn);
+  if (run == nullptr || run->finished || run->doomed) return;
+  if (!all_yes) {
+    // A no vote came with the voting shard's abort decision, which doomed
+    // the run instantly — unreachable in practice; kept as a safety net.
+    return;
+  }
+  if (measuring()) {
+    ++cross_server_commits_;
+    commit_participants_.Add(static_cast<double>(participants.size()));
+  }
+  const SiteId from = run->site();
+  for (int32_t participant : participants) {
+    network().Send(
+        from, ServerSiteOf(participant), "commit-decision",
+        [this, participant, txn] { OnOccDecision(participant, txn); });
+  }
+  EngineBase::StartCommit(*run);
+}
+
+void OccEngine::OnOccDecision(int32_t shard, TxnId txn) {
+  if (config().record_protocol_events) {
+    ProtocolEvent event;
+    event.kind = ProtocolEventKind::kCommitDecisionArrived;
+    event.txn = txn;
+    event.server = shard;
+    RecordEvent(std::move(event));
+  }
+  if (tracer().enabled()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kDecide;
+    event.txn = txn;
+    event.shard = shard;
+    event.site = ServerSiteOf(shard);
+    tracer().Emit(std::move(event));
+  }
+  server_wal().Append(db::LogRecordKind::kCommit, txn, kInvalidItem, 0);
+  auto& shard_prepared = prepared_[static_cast<size_t>(shard)];
+  auto it = shard_prepared.find(txn);
+  GTPL_CHECK(it != shard_prepared.end()) << "decision for unprepared txn";
+  const std::vector<proto::OpRecord> records = std::move(it->second);
+  shard_prepared.erase(it);
+  InstallOnShard(txn, records);
+  ClearReservations(shard, records);
+}
+
+// ---------------------------------------------------------------------------
+// Validation helpers
+// ---------------------------------------------------------------------------
+
+bool OccEngine::ValidateOnShard(
+    int32_t shard, const std::vector<proto::OpRecord>& records) {
+  const auto& slots = reserved_[static_cast<size_t>(shard)];
+  for (const proto::OpRecord& record : records) {
+    // Backward validation: the read version must still be the committed one.
+    if (store().VersionOf(record.item) != record.version_read) {
+      return false;
+    }
+    // And no concurrently prepared transaction may hold a conflicting
+    // reservation (its install is already promised).
+    auto it = slots.find(record.item);
+    if (it == slots.end()) continue;
+    const Slot& slot = it->second;
+    if (slot.writer != kInvalidTxn) return false;
+    if (slot.readers > 0 && record.mode == LockMode::kExclusive) return false;
+  }
+  return true;
+}
+
+void OccEngine::Reserve(int32_t shard, TxnId txn,
+                        const std::vector<proto::OpRecord>& records) {
+  auto& slots = reserved_[static_cast<size_t>(shard)];
+  for (const proto::OpRecord& record : records) {
+    Slot& slot = slots[record.item];
+    if (record.mode == LockMode::kExclusive) {
+      GTPL_CHECK_EQ(slot.writer, kInvalidTxn);
+      slot.writer = txn;
+    } else {
+      ++slot.readers;
+    }
+  }
+}
+
+void OccEngine::ClearReservations(
+    int32_t shard, const std::vector<proto::OpRecord>& records) {
+  auto& slots = reserved_[static_cast<size_t>(shard)];
+  for (const proto::OpRecord& record : records) {
+    auto it = slots.find(record.item);
+    GTPL_CHECK(it != slots.end());
+    Slot& slot = it->second;
+    if (record.mode == LockMode::kExclusive) {
+      slot.writer = kInvalidTxn;
+    } else {
+      --slot.readers;
+    }
+    if (slot.readers == 0 && slot.writer == kInvalidTxn) slots.erase(it);
+  }
+}
+
+void OccEngine::InstallOnShard(TxnId txn,
+                               const std::vector<proto::OpRecord>& records) {
+  for (const proto::OpRecord& record : records) {
+    if (record.mode != LockMode::kExclusive) continue;
+    store().Install(record.item, record.version_written);
+    const int64_t lsn = server_wal().Append(
+        db::LogRecordKind::kInstall, txn, record.item, record.version_written);
+    server_wal().Force(lsn);
+  }
+  MaybeGcClientLogs();
+}
+
+// ---------------------------------------------------------------------------
+// Client-side hooks
+// ---------------------------------------------------------------------------
+
+void OccEngine::DoCommit(TxnRun& run) { (void)run; }
+
+void OccEngine::OnClientAborted(TxnRun& run) {
+  votes_.erase(run.id);
+  std::vector<int32_t> participants = ParticipantsOf(run);
+  if (participants.size() <= 1) return;  // nothing was reserved
+  // Shards that voted yes before the failing shard doomed the transaction
+  // still hold reservations; release them. Idempotent: a shard that never
+  // prepared this transaction ignores the message.
+  for (int32_t shard : participants) {
+    network().Send(run.site(), ServerSiteOf(shard), "occ-abort",
+                   [this, shard, txn = run.id] {
+                     auto& shard_prepared =
+                         prepared_[static_cast<size_t>(shard)];
+                     auto it = shard_prepared.find(txn);
+                     if (it == shard_prepared.end()) return;
+                     ClearReservations(shard, it->second);
+                     shard_prepared.erase(it);
+                   });
+  }
+}
+
+bool OccEngine::ShardVote(int32_t shard, TxnId txn) {
+  (void)shard;
+  (void)txn;
+  GTPL_CHECK(false) << "OCC overrides StartCommit; base 2PC is unreachable";
+  return false;
+}
+
+void OccEngine::OnCommitDecision(int32_t shard, TxnId txn) {
+  (void)shard;
+  (void)txn;
+  GTPL_CHECK(false) << "OCC overrides StartCommit; base 2PC is unreachable";
+}
+
+void OccEngine::FillProtocolMetrics(RunResult* result) {
+  result->cross_server_commits = cross_server_commits_;
+  result->commit_participants = commit_participants_;
+}
+
+}  // namespace gtpl::cc

@@ -1,0 +1,89 @@
+#ifndef GTPL_CC_OCC_H_
+#define GTPL_CC_OCC_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "protocols/sharded.h"
+
+namespace gtpl::cc {
+
+/// Optimistic concurrency control with backward validation at commit.
+///
+/// The read phase takes no locks: each operation is one request/data round
+/// that ships the item's current committed version (so response time per op
+/// is the same WAN round s-2PL pays when uncontended — OCC removes lock
+/// *waiting*, not propagation). At commit the client sends its read/write
+/// set to the owning server(s); a server validates backward against the
+/// committed store — every recorded version_read must still be current —
+/// and a single-shard transaction installs its writes atomically with the
+/// validation, so the validation instant is the serialization point.
+///
+/// Cross-server commits reuse the 2PC message pattern (prepare == validate
+/// carrying the shard's slice of the read/write set, vote, decision), but
+/// with validation instead of a lock-state check: a yes vote *reserves* the
+/// validated items — later validations touching them in a conflicting mode
+/// vote no — and parks the shard's write slice server-side, so the decision
+/// message is control-only. Reservations are cleared by the decision
+/// (commit) or by the client's abort cleanup message.
+///
+/// The commit thus costs one extra WAN round (single shard) or two (2PC)
+/// on top of the pessimistic engines' commit path, the classic OCC
+/// trade: no waiting during the read phase, paid for with validation
+/// latency and restarts under contention.
+class OccEngine : public proto::ShardedEngineBase {
+ public:
+  explicit OccEngine(const proto::SimConfig& config);
+
+  int64_t validation_failures() const { return validation_failures_; }
+
+ protected:
+  void SendRequest(TxnRun& run) override;
+  /// Installs happened at validation (single shard) or decision time (2PC);
+  /// nothing travels at local-commit time.
+  void DoCommit(TxnRun& run) override;
+  void OnClientAborted(TxnRun& run) override;
+  void FillProtocolMetrics(proto::RunResult* result) override;
+  /// Certification commit: overrides the base 2PC entirely.
+  void StartCommit(TxnRun& run) override;
+  bool ShardVote(int32_t shard, TxnId txn) override;        // unreachable
+  void OnCommitDecision(int32_t shard, TxnId txn) override; // unreachable
+
+ private:
+  /// Validation locks held between a yes vote and the decision/abort.
+  struct Slot {
+    int32_t readers = 0;
+    TxnId writer = kInvalidTxn;
+  };
+  struct VoteCtx {
+    int32_t votes_pending = 0;
+    bool all_yes = true;
+    std::vector<int32_t> participants;
+  };
+
+  void OnRead(int32_t shard, TxnId txn, SiteId client_site, ItemId item,
+              LockMode mode);
+  void SendValidate(int32_t shard, TxnRun& run, bool multi);
+  void OnValidate(int32_t shard, TxnId txn, SiteId client_site,
+                  std::vector<proto::OpRecord> records, bool multi);
+  void OnOccVote(TxnId txn, int32_t shard, bool yes);
+  void OnOccDecision(int32_t shard, TxnId txn);
+
+  bool ValidateOnShard(int32_t shard,
+                       const std::vector<proto::OpRecord>& records);
+  void Reserve(int32_t shard, TxnId txn,
+               const std::vector<proto::OpRecord>& records);
+  void ClearReservations(int32_t shard,
+                         const std::vector<proto::OpRecord>& records);
+  void InstallOnShard(TxnId txn, const std::vector<proto::OpRecord>& records);
+
+  std::vector<std::unordered_map<ItemId, Slot>> reserved_;   // per shard
+  std::vector<std::unordered_map<TxnId, std::vector<proto::OpRecord>>>
+      prepared_;                                             // per shard
+  std::unordered_map<TxnId, VoteCtx> votes_;
+  int64_t validation_failures_ = 0;
+};
+
+}  // namespace gtpl::cc
+
+#endif  // GTPL_CC_OCC_H_

@@ -1,0 +1,101 @@
+#include "cc/policy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "db/waits_for_graph.h"
+
+namespace gtpl::cc {
+namespace {
+
+// Cycle detection at block time, exactly as the pre-refactor s-2PL engines
+// did it: record the wait edges, then abort victims until no cycle through
+// the requester remains. The engine routes OnWaiterGranted/OnTxnFinished
+// to ClearWaits/RemoveTxn at the same call sites the old engines used, so
+// the graph contents — and therefore victim choice and every downstream
+// event time — are bit-identical.
+class DetectPolicy : public ConflictPolicy {
+ public:
+  void OnBlocked(TxnId txn, ItemId item, const std::vector<TxnId>& blockers,
+                 PolicyHost& host) override {
+    (void)item;
+    wfg_.AddWaits(txn, blockers);
+    while (true) {
+      const std::vector<TxnId> cycle = wfg_.CycleThrough(txn);
+      if (cycle.empty()) break;
+      TxnId victim = txn;
+      if (host.engine_config().s2pl.victim ==
+          proto::S2plOptions::Victim::kYoungest) {
+        victim = *std::max_element(cycle.begin(), cycle.end());
+      }
+      host.AbortTxn(victim);
+      if (victim == txn) break;
+    }
+  }
+
+  void OnWaiterGranted(TxnId txn) override { wfg_.ClearWaits(txn); }
+
+  void OnTxnFinished(TxnId txn) override { wfg_.RemoveTxn(txn); }
+
+ private:
+  db::WaitsForGraph wfg_;
+};
+
+class NoWaitPolicy : public ConflictPolicy {
+ public:
+  void OnBlocked(TxnId txn, ItemId item, const std::vector<TxnId>& blockers,
+                 PolicyHost& host) override {
+    (void)item;
+    (void)blockers;
+    host.AbortTxn(txn);
+  }
+};
+
+class WaitDiePolicy : public ConflictPolicy {
+ public:
+  void OnBlocked(TxnId txn, ItemId item, const std::vector<TxnId>& blockers,
+                 PolicyHost& host) override {
+    (void)item;
+    // Txn ids are assigned monotonically, so smaller id == older. The
+    // blocker set includes conflicting earlier waiters, so a granted wait
+    // edge always points old -> young even through the FIFO queue.
+    for (TxnId blocker : blockers) {
+      if (blocker < txn) {
+        host.AbortTxn(txn);
+        return;
+      }
+    }
+  }
+};
+
+class OrderedPolicy : public ConflictPolicy {
+ public:
+  void OnBlocked(TxnId txn, ItemId item, const std::vector<TxnId>& blockers,
+                 PolicyHost& host) override {
+    (void)blockers;
+    const ItemId held = host.MaxHeldItem(txn);
+    if (held != kInvalidItem && held > item) {
+      host.AbortTxn(txn);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ConflictPolicy> MakeDetectPolicy() {
+  return std::make_unique<DetectPolicy>();
+}
+
+std::unique_ptr<ConflictPolicy> MakeNoWaitPolicy() {
+  return std::make_unique<NoWaitPolicy>();
+}
+
+std::unique_ptr<ConflictPolicy> MakeWaitDiePolicy() {
+  return std::make_unique<WaitDiePolicy>();
+}
+
+std::unique_ptr<ConflictPolicy> MakeOrderedPolicy() {
+  return std::make_unique<OrderedPolicy>();
+}
+
+}  // namespace gtpl::cc

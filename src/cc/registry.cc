@@ -1,0 +1,132 @@
+#include "cc/registry.h"
+
+#include <utility>
+
+#include "cc/lock_engine.h"
+#include "cc/occ.h"
+#include "cc/policy.h"
+#include "common/check.h"
+#include "protocols/caching.h"
+#include "protocols/g2pl.h"
+#include "protocols/s2pl.h"
+#include "protocols/sharded.h"
+
+namespace gtpl::cc {
+namespace {
+
+using proto::EngineBase;
+using proto::Protocol;
+using proto::SimConfig;
+
+std::unique_ptr<EngineBase> MakeS2pl(const SimConfig& config) {
+  return std::make_unique<proto::S2plEngine>(config);
+}
+
+std::unique_ptr<EngineBase> MakeG2pl(const SimConfig& config) {
+  if (config.num_servers > 1) {
+    return std::make_unique<proto::ShardedG2plEngine>(config);
+  }
+  return std::make_unique<proto::G2plEngine>(config);
+}
+
+std::unique_ptr<EngineBase> MakeCaching(const SimConfig& config) {
+  return proto::MakeCachingEngine(config);
+}
+
+std::unique_ptr<EngineBase> MakeNoWait(const SimConfig& config) {
+  return std::make_unique<LockCcEngine>(config, MakeNoWaitPolicy());
+}
+
+std::unique_ptr<EngineBase> MakeWaitDie(const SimConfig& config) {
+  return std::make_unique<LockCcEngine>(config, MakeWaitDiePolicy());
+}
+
+std::unique_ptr<EngineBase> MakeOcc(const SimConfig& config) {
+  return std::make_unique<OccEngine>(config);
+}
+
+std::unique_ptr<EngineBase> MakeOrdered(const SimConfig& config) {
+  LockEngineTraits traits;
+  traits.release_at_prepare = true;
+  return std::make_unique<LockCcEngine>(config, MakeOrderedPolicy(), traits);
+}
+
+}  // namespace
+
+const std::vector<EngineInfo>& Engines() {
+  static const std::vector<EngineInfo>* engines = new std::vector<EngineInfo>{
+      {"s2pl", "strict 2PL, waits-for deadlock detection (paper baseline)",
+       Protocol::kS2pl, /*sharded=*/true, MakeS2pl},
+      {"g2pl", "group 2PL with forward lists (paper contribution)",
+       Protocol::kG2pl, /*sharded=*/true, MakeG2pl},
+      {"c2pl", "caching 2PL: locks+data cached across txns",
+       Protocol::kC2pl, /*sharded=*/false, MakeCaching},
+      {"cbl", "callback locking", Protocol::kCbl, /*sharded=*/false,
+       MakeCaching},
+      {"o2pl", "optimistic 2PL (deferred write intentions)",
+       Protocol::kO2pl, /*sharded=*/false, MakeCaching},
+      {"nowait", "no-wait 2PL: blocked requests abort the requester",
+       Protocol::kNoWait, /*sharded=*/true, MakeNoWait},
+      {"waitdie", "wait-die 2PL: wait for younger only, die on older",
+       Protocol::kWaitDie, /*sharded=*/true, MakeWaitDie},
+      {"occ", "optimistic CC, backward validation at commit",
+       Protocol::kOcc, /*sharded=*/true, MakeOcc},
+      {"ordered", "ordered 2PL: in-order acquisition, release at prepare",
+       Protocol::kOrdered, /*sharded=*/true, MakeOrdered},
+  };
+  return *engines;
+}
+
+const EngineInfo* FindEngine(const std::string& name) {
+  for (const EngineInfo& info : Engines()) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+const EngineInfo& EngineFor(proto::Protocol protocol) {
+  for (const EngineInfo& info : Engines()) {
+    if (info.protocol == protocol) return info;
+  }
+  GTPL_CHECK(false) << "protocol without a registered engine";
+  return Engines().front();
+}
+
+std::string EngineNames() {
+  std::string names;
+  for (const EngineInfo& info : Engines()) {
+    if (!names.empty()) names += ", ";
+    names += info.name;
+  }
+  return names;
+}
+
+Status ParseEngineName(const std::string& name, proto::Protocol* protocol) {
+  const EngineInfo* info = FindEngine(name);
+  if (info == nullptr) {
+    return Status::InvalidArgument("unknown engine '" + name +
+                                   "' (registered: " + EngineNames() + ")");
+  }
+  *protocol = info->protocol;
+  return Status::Ok();
+}
+
+}  // namespace gtpl::cc
+
+namespace gtpl::proto {
+
+RunResult RunSimulation(const SimConfig& config) {
+  GTPL_CHECK(config.Validate().ok()) << config.Validate().ToString();
+  return cc::EngineFor(config.protocol).make(config)->Run();
+}
+
+std::unique_ptr<EngineBase> MakeShardedEngine(const SimConfig& config) {
+  if (config.protocol == Protocol::kG2pl) {
+    return std::make_unique<ShardedG2plEngine>(config);
+  }
+  const cc::EngineInfo& info = cc::EngineFor(config.protocol);
+  GTPL_CHECK(info.sharded) << info.name << " does not support sharding";
+  return info.make(config);
+}
+
+}  // namespace gtpl::proto

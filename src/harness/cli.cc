@@ -6,6 +6,7 @@
 #include <string>
 #include <system_error>
 
+#include "cc/registry.h"
 #include "exec/thread_pool.h"
 
 namespace gtpl::harness {
@@ -72,6 +73,13 @@ Status ParseCli(int argc, char** argv, CliOptions* options) {
         return Status::InvalidArgument("bad --jobs");
       }
       options->jobs = static_cast<int>(value);
+    } else if (const char* v7 = value_of("--cc=")) {
+      const Status status = cc::ParseEngineName(v7, &options->cc_protocol);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return status;
+      }
+      options->cc = v7;
     } else if (arg == "--full") {
       options->scale.measured_txns = 50000;
       options->scale.warmup_txns = 5000;
@@ -80,11 +88,16 @@ Status ParseCli(int argc, char** argv, CliOptions* options) {
       options->scale.measured_txns = 800;
       options->scale.warmup_txns = 100;
       options->scale.runs = 2;
+    } else if (arg == "--smoke") {
+      options->scale.measured_txns = 200;
+      options->scale.warmup_txns = 20;
+      options->scale.runs = 1;
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: %s [--txns=N] [--warmup=N] [--runs=N] [--seed=N] "
-                   "[--jobs=N] [--full] [--quick] [--csv=PATH]\n",
-                   argv[0]);
+                   "[--jobs=N] [--cc=NAME] [--full] [--quick] [--smoke] "
+                   "[--csv=PATH]\n  engines: %s\n",
+                   argv[0], cc::EngineNames().c_str());
       return Status::InvalidArgument("help requested");
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "harness/experiment.h"
+#include "protocols/config.h"
 
 namespace gtpl::harness {
 
@@ -16,13 +17,21 @@ namespace gtpl::harness {
 ///   --jobs=N     worker threads for the sweep grid (default: GTPL_JOBS
 ///                env var, else all hardware threads; results are
 ///                bit-identical at any value)
+///   --cc=NAME    restrict a protocol-sweeping bench to one registered
+///                engine (strict: unknown names fail listing the registry)
 ///   --full       paper scale: 50000 measured txns, 5 replications
 ///   --quick      smoke scale: 800 measured txns, 2 replications
+///   --smoke      CI scale: 200 measured txns, 1 replication
 ///   --csv=PATH   also write the main table as CSV
 struct CliOptions {
   ExperimentScale scale;
   std::string csv_path;
   int jobs = 0;  // 0 = auto (GTPL_JOBS env, else hardware threads)
+  /// Registered engine name from --cc, empty when the flag was not given
+  /// (benches then sweep their default engine set); `cc_protocol` is
+  /// meaningful only when `cc` is non-empty.
+  std::string cc;
+  proto::Protocol cc_protocol = proto::Protocol::kS2pl;
 };
 
 /// Strict numeric parsing for CLI flag values (std::from_chars; the whole

@@ -14,6 +14,14 @@ const char* ToString(Protocol protocol) {
       return "CBL";
     case Protocol::kO2pl:
       return "O2PL";
+    case Protocol::kNoWait:
+      return "nw-2PL";
+    case Protocol::kWaitDie:
+      return "wd-2PL";
+    case Protocol::kOcc:
+      return "OCC";
+    case Protocol::kOrdered:
+      return "or-2PL";
   }
   return "unknown";
 }
@@ -38,10 +46,11 @@ Status SimConfig::Validate() const {
   if (num_servers > workload.num_items) {
     return Status::InvalidArgument("num_servers must be <= num_items");
   }
-  if (num_servers > 1 && protocol != Protocol::kS2pl &&
-      protocol != Protocol::kG2pl) {
+  if (num_servers > 1 &&
+      (protocol == Protocol::kC2pl || protocol == Protocol::kCbl ||
+       protocol == Protocol::kO2pl)) {
     return Status::InvalidArgument(
-        "sharding supports only s-2PL and g-2PL");
+        "sharding does not support the caching protocols");
   }
   if (latency < 0) return Status::InvalidArgument("latency must be >= 0");
   if (latency_jitter < 0) {

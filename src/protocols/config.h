@@ -11,13 +11,19 @@
 
 namespace gtpl::proto {
 
-/// Concurrency-control protocol run by the data-server system.
+/// Concurrency-control protocol run by the data-server system. The cc
+/// registry (cc/registry.h) maps protocols to engine factories and string
+/// names; add new engines there.
 enum class Protocol {
-  kS2pl = 0,  // server-based strict 2PL (paper baseline)
-  kG2pl = 1,  // group 2PL (paper contribution)
-  kC2pl = 2,  // caching 2PL: locks+data cached across txns (extension)
-  kCbl = 3,   // callback locking (extension)
-  kO2pl = 4,  // optimistic 2PL (extension)
+  kS2pl = 0,     // server-based strict 2PL (paper baseline)
+  kG2pl = 1,     // group 2PL (paper contribution)
+  kC2pl = 2,     // caching 2PL: locks+data cached across txns (extension)
+  kCbl = 3,      // callback locking (extension)
+  kO2pl = 4,     // optimistic 2PL (extension)
+  kNoWait = 5,   // no-wait 2PL: blocked requests abort the requester
+  kWaitDie = 6,  // wait-die 2PL: wait for younger only, die on older
+  kOcc = 7,      // optimistic CC, backward validation at commit
+  kOrdered = 8,  // ordered 2PL: in-order acquisition, release at prepare
 };
 
 const char* ToString(Protocol protocol);

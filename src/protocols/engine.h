@@ -178,6 +178,8 @@ class EngineBase {
 };
 
 /// Runs one simulation with the given configuration (validates first).
+/// Defined in cc/registry.cc: the engine is resolved through the cc
+/// registry, so every registered protocol runs through the same entry.
 RunResult RunSimulation(const SimConfig& config);
 
 }  // namespace gtpl::proto

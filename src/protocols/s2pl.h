@@ -1,12 +1,8 @@
 #ifndef GTPL_PROTOCOLS_S2PL_H_
 #define GTPL_PROTOCOLS_S2PL_H_
 
-#include <unordered_set>
-#include <vector>
-
-#include "db/lock_table.h"
-#include "db/waits_for_graph.h"
-#include "protocols/engine.h"
+#include "cc/lock_engine.h"
+#include "cc/policy.h"
 
 namespace gtpl::proto {
 
@@ -19,40 +15,16 @@ namespace gtpl::proto {
 /// "detect at block time" style) or the youngest cycle member. At commit the
 /// client returns all modified items in a single release message; the server
 /// installs them, releases the locks, and promotes waiters.
-class S2plEngine : public EngineBase {
+///
+/// Since the cc refactor this is a thin instantiation of the generic lock
+/// engine with the detection policy; the message sequences are the original
+/// ones (the legacy golden tables pin them bit for bit).
+class S2plEngine : public cc::LockCcEngine {
  public:
-  explicit S2plEngine(const SimConfig& config);
+  explicit S2plEngine(const SimConfig& config)
+      : cc::LockCcEngine(config, cc::MakeDetectPolicy()) {}
 
-  int64_t deadlock_aborts() const { return deadlock_aborts_; }
-
- protected:
-  void SendRequest(TxnRun& run) override;
-  void DoCommit(TxnRun& run) override;
-  void OnClientAborted(TxnRun& run) override;
-  void FillProtocolMetrics(RunResult* result) override;
-
- private:
-  struct Update {
-    ItemId item;
-    Version version;
-  };
-
-  // Server-side handlers (run at message-arrival time).
-  void ServerOnRequest(TxnId txn, SiteId client_site, ItemId item,
-                       LockMode mode);
-  void ServerOnRelease(TxnId txn, std::vector<Update> updates);
-
-  /// Sends the granted item's data to the owning client.
-  void SendGrant(TxnId txn, ItemId item, LockMode mode);
-
-  /// Aborts `victim` at the server: drops its locks/queued requests and
-  /// waits-for edges, promotes unblocked waiters, dooms it at the client.
-  void ServerAbort(TxnId victim);
-
-  db::LockTable lock_table_;
-  db::WaitsForGraph wfg_;
-  std::unordered_set<TxnId> server_aborted_;  // ignore their late messages
-  int64_t deadlock_aborts_ = 0;
+  int64_t deadlock_aborts() const { return policy_aborts(); }
 };
 
 }  // namespace gtpl::proto

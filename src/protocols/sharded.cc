@@ -610,198 +610,4 @@ void ShardedG2plEngine::FillProtocolMetrics(RunResult* result) {
   result->commit_participants = commit_participants_;
 }
 
-// ---------------------------------------------------------------------------
-// ShardedS2plEngine
-// ---------------------------------------------------------------------------
-// Mirrors S2plEngine (s2pl.cc) with one lock table per shard and a single
-// global waits-for graph; the per-operation sequences are identical when
-// num_servers == 1 (equivalence suite).
-
-ShardedS2plEngine::ShardedS2plEngine(const SimConfig& config)
-    : ShardedEngineBase(config) {
-  lock_tables_.reserve(static_cast<size_t>(config.num_servers));
-  for (int32_t shard = 0; shard < config.num_servers; ++shard) {
-    lock_tables_.push_back(
-        std::make_unique<db::LockTable>(config.workload.num_items));
-  }
-}
-
-void ShardedS2plEngine::SendRequest(TxnRun& run) {
-  const TxnId txn = run.id;
-  const SiteId site = run.site();
-  const workload::Operation op = run.op();
-  const int32_t shard = ShardOf(op.item);
-  network().Send(site, ServerSiteOf(shard), "lock-request",
-                 [this, shard, txn, site, op] {
-                   ServerOnRequest(shard, txn, site, op.item, op.mode);
-                 });
-}
-
-void ShardedS2plEngine::ServerOnRequest(int32_t shard, TxnId txn,
-                                        SiteId client_site, ItemId item,
-                                        LockMode mode) {
-  (void)client_site;
-  NoteRequestAtServer(txn, item, mode, shard);
-  if (server_aborted_.count(txn) > 0) return;
-  db::LockTable& table = *lock_tables_[static_cast<size_t>(shard)];
-  const db::LockResult outcome = table.Request(txn, item, mode);
-  if (outcome == db::LockResult::kGranted) {
-    SendGrant(shard, txn, item, mode);
-    return;
-  }
-  // Blocked: detection consults the *global* waits-for graph (the shared
-  // coordination plane), so cross-shard deadlocks are found exactly like
-  // local ones.
-  wfg_.AddWaits(txn, table.Blockers(txn, item));
-  while (true) {
-    const std::vector<TxnId> cycle = wfg_.CycleThrough(txn);
-    if (cycle.empty()) break;
-    TxnId victim = txn;
-    if (config().s2pl.victim == S2plOptions::Victim::kYoungest) {
-      victim = *std::max_element(cycle.begin(), cycle.end());
-    }
-    ServerAbort(shard, victim);
-    if (victim == txn) break;
-  }
-}
-
-void ShardedS2plEngine::SendGrant(int32_t shard, TxnId txn, ItemId item,
-                                  LockMode mode) {
-  (void)mode;
-  TxnRun* run = FindRun(txn);
-  if (run == nullptr) return;
-  const Version version = store().VersionOf(item);
-  network().Send(
-      ServerSiteOf(shard), run->site(), "grant+data",
-      [this, txn, item, version] {
-        TxnRun* target = FindRun(txn);
-        if (target == nullptr || target->finished || target->doomed) {
-          return;
-        }
-        GTPL_CHECK_EQ(target->op().item, item);
-        OpGranted(*target, version);
-      },
-      net::kControlPayload + net::kDataPayload);
-}
-
-void ShardedS2plEngine::ServerAbort(int32_t deciding_shard, TxnId victim) {
-  GTPL_CHECK(server_aborted_.insert(victim).second);
-  ++deadlock_aborts_;
-  wfg_.RemoveTxn(victim);
-  // The victim's locks are dropped on every shard at decision time (the
-  // instantaneous coordination plane; see the determinism contract).
-  for (int32_t shard = 0; shard < num_servers(); ++shard) {
-    lock_tables_[static_cast<size_t>(shard)]->ReleaseAll(
-        victim, [this, shard](TxnId txn, ItemId item, LockMode mode) {
-          wfg_.ClearWaits(txn);
-          SendGrant(shard, txn, item, mode);
-        });
-  }
-  TxnRun* run = FindRun(victim);
-  GTPL_CHECK(run != nullptr) << "deadlock victim is not an active txn";
-  ServerAbortDecision(victim, run->site(), ServerSiteOf(deciding_shard));
-}
-
-void ShardedS2plEngine::DoCommit(TxnRun& run) {
-  // One release message per participant shard, carrying that shard's
-  // updates (these releases are the effective phase two of a cross-server
-  // commit; single-shard transactions send exactly the one message the
-  // single-server engine sends).
-  std::vector<std::vector<Update>> updates_by(
-      static_cast<size_t>(num_servers()));
-  std::vector<bool> touched(static_cast<size_t>(num_servers()), false);
-  for (const OpRecord& record : run.records) {
-    const size_t shard = static_cast<size_t>(ShardOf(record.item));
-    touched[shard] = true;
-    if (record.mode == LockMode::kExclusive) {
-      updates_by[shard].push_back(Update{record.item, record.version_written});
-    }
-  }
-  const TxnId txn = run.id;
-  int32_t participants = 0;
-  for (const bool t : touched) participants += t ? 1 : 0;
-  pending_releases_[txn] = participants;
-  for (int32_t shard = 0; shard < num_servers(); ++shard) {
-    if (!touched[static_cast<size_t>(shard)]) continue;
-    std::vector<Update>& updates = updates_by[static_cast<size_t>(shard)];
-    const uint64_t payload =
-        net::kControlPayload + net::kDataPayload * updates.size();
-    network().Send(
-        run.site(), ServerSiteOf(shard), "release",
-        [this, shard, txn, updates = std::move(updates)] {
-          ServerOnRelease(shard, txn, updates);
-        },
-        payload);
-  }
-}
-
-void ShardedS2plEngine::ServerOnRelease(int32_t shard, TxnId txn,
-                                        std::vector<Update> updates) {
-  GTPL_CHECK_EQ(server_aborted_.count(txn), 0u)
-      << "a doomed transaction committed";
-  if (tracer().enabled()) {
-    obs::TraceEvent event;
-    event.kind = obs::EventKind::kLockRelease;
-    event.txn = txn;
-    event.site = ServerSiteOf(shard);
-    event.shard = shard;
-    event.payload = static_cast<int64_t>(updates.size());
-    tracer().Emit(std::move(event));
-  }
-  for (const Update& update : updates) {
-    store().Install(update.item, update.version);
-    const int64_t lsn = server_wal().Append(db::LogRecordKind::kInstall, txn,
-                                            update.item, update.version);
-    server_wal().Force(lsn);
-  }
-  MaybeGcClientLogs();
-  // The transaction leaves the global waits-for graph only once its last
-  // shard released (it still holds locks elsewhere until then).
-  auto pending = pending_releases_.find(txn);
-  GTPL_CHECK(pending != pending_releases_.end());
-  if (--pending->second == 0) {
-    pending_releases_.erase(pending);
-    wfg_.RemoveTxn(txn);
-  }
-  lock_tables_[static_cast<size_t>(shard)]->ReleaseAll(
-      txn, [this, shard](TxnId granted, ItemId item, LockMode mode) {
-        wfg_.ClearWaits(granted);
-        SendGrant(shard, granted, item, mode);
-      });
-}
-
-void ShardedS2plEngine::OnClientAborted(TxnRun& run) {
-  // Server state was already cleaned on every shard at decision time.
-  (void)run;
-}
-
-bool ShardedS2plEngine::ShardVote(int32_t shard, TxnId txn) {
-  (void)shard;  // the abort set is global, like the waits-for graph
-  return server_aborted_.count(txn) == 0;
-}
-
-void ShardedS2plEngine::OnCommitDecision(int32_t shard, TxnId txn) {
-  // The per-shard release messages (DoCommit) carry the actual lock
-  // releases and updates; the decision message only logs the outcome.
-  (void)shard;
-  (void)txn;
-}
-
-void ShardedS2plEngine::FillProtocolMetrics(RunResult* result) {
-  result->cross_server_commits = cross_server_commits_;
-  result->commit_participants = commit_participants_;
-}
-
-std::unique_ptr<EngineBase> MakeShardedEngine(const SimConfig& config) {
-  switch (config.protocol) {
-    case Protocol::kS2pl:
-      return std::make_unique<ShardedS2plEngine>(config);
-    case Protocol::kG2pl:
-      return std::make_unique<ShardedG2plEngine>(config);
-    default:
-      GTPL_CHECK(false) << "sharding supports only s-2PL and g-2PL";
-      return nullptr;
-  }
-}
-
 }  // namespace gtpl::proto

@@ -9,8 +9,6 @@
 
 #include "core/forward_list.h"
 #include "core/window_manager.h"
-#include "db/lock_table.h"
-#include "db/waits_for_graph.h"
 #include "protocols/engine.h"
 
 namespace gtpl::proto {
@@ -177,50 +175,14 @@ class ShardedG2plEngine : public ShardedEngineBase {
   std::unordered_set<TxnId> drained_;
 };
 
-/// s-2PL across shards: one FIFO lock table per server, deadlock detection
-/// on one *global* waits-for graph (the shared coordination plane). A
-/// deadlock victim's locks are released on every shard at decision time; at
-/// commit the client sends one release message per participant server
-/// carrying that shard's updates (those releases are the effective phase
-/// two of the cross-server commit), and the victim leaves the waits-for
-/// graph only when its last shard released.
-class ShardedS2plEngine : public ShardedEngineBase {
- public:
-  explicit ShardedS2plEngine(const SimConfig& config);
+// (The former ShardedS2plEngine lives on as cc::LockCcEngine with the
+// detection policy — the generic lock engine in cc/lock_engine.h — so the
+// no-wait / wait-die / ordered variants inherit its sharding and 2PC
+// machinery. protocols/s2pl.h keeps the S2plEngine name as a thin alias.)
 
-  int64_t deadlock_aborts() const { return deadlock_aborts_; }
-
- protected:
-  void SendRequest(TxnRun& run) override;
-  void DoCommit(TxnRun& run) override;
-  void OnClientAborted(TxnRun& run) override;
-  void FillProtocolMetrics(RunResult* result) override;
-  bool ShardVote(int32_t shard, TxnId txn) override;
-  void OnCommitDecision(int32_t shard, TxnId txn) override;
-
- private:
-  struct Update {
-    ItemId item;
-    Version version;
-  };
-
-  void ServerOnRequest(int32_t shard, TxnId txn, SiteId client_site,
-                       ItemId item, LockMode mode);
-  void ServerOnRelease(int32_t shard, TxnId txn, std::vector<Update> updates);
-  void SendGrant(int32_t shard, TxnId txn, ItemId item, LockMode mode);
-  void ServerAbort(int32_t deciding_shard, TxnId victim);
-
-  std::vector<std::unique_ptr<db::LockTable>> lock_tables_;
-  db::WaitsForGraph wfg_;  // global across shards
-  std::unordered_set<TxnId> server_aborted_;
-  // Release messages still in flight per committing txn; the txn leaves the
-  // waits-for graph when the count reaches zero.
-  std::unordered_map<TxnId, int32_t> pending_releases_;
-  int64_t deadlock_aborts_ = 0;
-};
-
-/// Builds the sharded engine for `config.protocol` (s-2PL or g-2PL only;
-/// Validate() rejects sharded caching protocols).
+/// Builds the sharded engine for `config.protocol` (any engine the registry
+/// marks sharded; Validate() rejects sharded caching protocols). Defined in
+/// cc/registry.cc alongside RunSimulation.
 std::unique_ptr<EngineBase> MakeShardedEngine(const SimConfig& config);
 
 }  // namespace gtpl::proto

@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cc/registry.h"
 #include "harness/experiment.h"
 #include "harness/table.h"
 #include "protocols/config.h"
@@ -239,6 +240,55 @@ TEST(GoldenTest, AdaptiveWindowGrid) {
                   Fmt(point.mean_cap_decreases, 1)});
   }
   CompareOrUpdate("adaptive.golden", table.ToCsv());
+}
+
+TEST(GoldenTest, CcZooGrid) {
+  // Shrunk version of bench_ext_cczoo's grid: the four new cc engines over
+  // latency x server count. Pins the initial behavior of each engine the
+  // same way fig2_4_latency.golden pins the legacy protocols — any later
+  // change to a policy or to the shared lock-engine path that shifts a
+  // metric of any point fails here.
+  std::vector<proto::SimConfig> points;
+  struct Row {
+    proto::Protocol protocol;
+    SimTime latency;
+    int32_t servers;
+  };
+  std::vector<Row> rows;
+  for (proto::Protocol protocol :
+       {proto::Protocol::kNoWait, proto::Protocol::kWaitDie,
+        proto::Protocol::kOcc, proto::Protocol::kOrdered}) {
+    for (SimTime latency : {1, 250}) {
+      for (int32_t servers : {1, 2}) {
+        proto::SimConfig config = TinyBaseConfig();
+        config.protocol = protocol;
+        config.latency = latency;
+        config.num_servers = servers;
+        points.push_back(config);
+        rows.push_back({protocol, latency, servers});
+      }
+    }
+  }
+  const SweepResult sweep = RunSweep(points, /*runs=*/2, /*jobs=*/2);
+  Table table({"cc", "latency", "servers", "resp", "abort%", "msgs/commit",
+               "lockw", "prop", "commitph", "resp_p99"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const PointResult& point = sweep.points[i];
+    EXPECT_FALSE(point.any_timed_out);
+    EXPECT_NEAR(point.mean_lock_wait + point.mean_propagation +
+                    point.mean_queueing + point.mean_execution +
+                    point.mean_commit_phase,
+                point.response.mean, 1e-6 * point.response.mean + 1e-6);
+    table.AddRow({cc::EngineFor(rows[i].protocol).name,
+                  std::to_string(rows[i].latency),
+                  std::to_string(rows[i].servers), Fmt(point.response.mean, 3),
+                  Fmt(point.abort_pct.mean, 3),
+                  Fmt(point.mean_messages_per_commit, 3),
+                  Fmt(point.mean_lock_wait, 3), Fmt(point.mean_propagation, 3),
+                  Fmt(point.mean_commit_phase, 3),
+                  Fmt(point.response_p99, 3)});
+  }
+  CompareOrUpdate("cczoo.golden", table.ToCsv());
 }
 
 }  // namespace
