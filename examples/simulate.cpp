@@ -63,6 +63,10 @@ void PrintUsage(const char* prog) {
       "  --clients=N          number of client sites (default 50)\n"
       "  --servers=N          data servers the items shard across (1)\n"
       "  --routing=hash|range item-to-shard routing (hash)\n"
+      "  --commit=NAME        cross-server commit path (classic). Paths:\n"
+      "                       %s\n"
+      "  --server-latency=N   server<->server one-way latency override;\n"
+      "                       -1 = same as --latency (-1)\n"
       "  --latency=N          one-way network latency, time units (500)\n"
       "  --jitter=N           extra U[0,N] per message (0)\n"
       "  --spread=F           client distance spread in [0,1] (0)\n"
@@ -96,7 +100,8 @@ void PrintUsage(const char* prog) {
       "                       (runs > 1 append .repN per replication)\n"
       "  --trace-format=jsonl|chrome   trace file format (jsonl; chrome\n"
       "                       loads into chrome://tracing / Perfetto)\n",
-      prog, gtpl::cc::EngineNames().c_str());
+      prog, gtpl::cc::EngineNames().c_str(),
+      gtpl::proto::CommitPathNames().c_str());
 }
 
 bool ParseFlag(const std::string& arg, Flags* flags) {
@@ -134,6 +139,16 @@ bool ParseFlag(const std::string& arg, Flags* flags) {
     } else {
       return BadValue("--routing", vr);
     }
+  } else if (const char* vcp = value_of("--commit=")) {
+    // Strict: unknown names fail (non-zero exit) listing the registry.
+    const gtpl::Status status =
+        gtpl::proto::ParseCommitPathName(vcp, &config.commit_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return BadValue("--commit", vcp);
+    }
+  } else if (const char* vsl = value_of("--server-latency=")) {
+    return ParseInt64Flag("--server-latency", vsl, &config.server_latency);
   } else if (const char* v3 = value_of("--latency=")) {
     return ParseInt64Flag("--latency", v3, &config.latency);
   } else if (const char* v4 = value_of("--jitter=")) {
@@ -284,9 +299,15 @@ int main(int argc, char** argv) {
                 flags.config.cross_traffic_load);
   }
   if (flags.config.num_servers > 1) {
-    std::printf("%d servers, %s routing, client-coordinated 2PC\n",
+    std::printf("%d servers, %s routing, commit path %s",
                 flags.config.num_servers,
-                gtpl::proto::ToString(flags.config.shard_routing));
+                gtpl::proto::ToString(flags.config.shard_routing),
+                gtpl::proto::ToString(flags.config.commit_path));
+    if (flags.config.server_latency >= 0) {
+      std::printf(", server-server latency %lld",
+                  static_cast<long long>(flags.config.server_latency));
+    }
+    std::printf("\n");
   }
   if (flags.config.g2pl.adaptive.enabled) {
     const gtpl::core::AdaptiveWindowOptions& a = flags.config.g2pl.adaptive;
@@ -331,6 +352,21 @@ int main(int argc, char** argv) {
                 gtpl::harness::Fmt(point.throughput.mean, 3)});
   table.AddRow({"messages per commit",
                 gtpl::harness::Fmt(point.mean_messages_per_commit, 1)});
+  if (flags.config.num_servers > 1) {
+    table.AddRow({"cross-server commits",
+                  gtpl::harness::Fmt(point.cross_server_pct, 1) + "%"});
+    table.AddRow({"  commit prepare / vote span",
+                  gtpl::harness::Fmt(point.mean_commit_prepare, 1) + " / " +
+                      gtpl::harness::Fmt(point.mean_commit_vote, 1)});
+    table.AddRow({"  cross-commit span p50",
+                  gtpl::harness::Fmt(point.xcommit_p50, 0)});
+    table.AddRow({"  commit WAN flights",
+                  gtpl::harness::Fmt(point.mean_commit_flights, 2)});
+    table.AddRow({"  fastpath / coord / fallback",
+                  gtpl::harness::Fmt(point.fastpath_pct, 1) + "% / " +
+                      gtpl::harness::Fmt(point.coord_remote_pct, 1) + "% / " +
+                      gtpl::harness::Fmt(point.fallback_pct, 1) + "%"});
+  }
   if (flags.config.link_bandwidth > 0.0) {
     table.AddRow({"queue delay per message",
                   gtpl::harness::Fmt(point.mean_queue_delay, 2)});

@@ -217,25 +217,39 @@ void LockCcEngine::OnClientAborted(TxnRun& run) {
   (void)run;
 }
 
-bool LockCcEngine::ShardVote(int32_t shard, TxnId txn) {
+bool LockCcEngine::ShardVote(int32_t shard, TxnId txn, bool speculative) {
   if (server_aborted_.count(txn) > 0) return false;  // safety net
-  // A yes vote is a commit promise (abort decisions only target blocked
-  // requesters, and this txn is at its commit point): the ordered-release
-  // variant cashes it in immediately.
-  if (traits_.release_at_prepare) ReleaseShardEarly(shard, txn);
+  // A non-speculative yes vote is a commit promise (abort decisions only
+  // target blocked requesters, and this txn is at its commit point): the
+  // ordered-release variant cashes it in immediately. A speculative vote
+  // (kEarly) only means "not aborted so far" — no release on its strength.
+  if (traits_.release_at_prepare && !speculative) {
+    ReleaseShardEarly(shard, txn);
+  }
   return true;
 }
 
 void LockCcEngine::OnCommitDecision(int32_t shard, TxnId txn) {
-  // The per-shard release messages (DoCommit) carry the actual lock
-  // releases and updates; the decision message only logs the outcome.
-  (void)shard;
-  (void)txn;
+  // Client-coordinated commits: the per-shard release messages (DoCommit)
+  // carry the actual releases and updates; the decision only logs the
+  // outcome. A remote coordinator's decision (kCoord), though, reaches the
+  // shard ahead of the client's ack-delayed DoCommit — cash it in now for
+  // the lock-hold reduction, unless the shard already released at prepare
+  // time or the client's commit beat this message.
+  if (!RemoteCoordinated(txn)) return;
+  TxnRun* run = FindRun(txn);
+  if (run == nullptr || run->finished) return;
+  auto early = early_released_.find(txn);
+  if (early != early_released_.end() &&
+      std::find(early->second.begin(), early->second.end(), shard) !=
+          early->second.end()) {
+    return;
+  }
+  ReleaseShardEarly(shard, txn);
 }
 
 void LockCcEngine::FillProtocolMetrics(RunResult* result) {
-  result->cross_server_commits = cross_server_commits_;
-  result->commit_participants = commit_participants_;
+  ShardedEngineBase::FillProtocolMetrics(result);
 }
 
 }  // namespace gtpl::cc

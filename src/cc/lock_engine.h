@@ -51,7 +51,7 @@ class LockCcEngine : public proto::ShardedEngineBase, public PolicyHost {
   void DoCommit(TxnRun& run) override;
   void OnClientAborted(TxnRun& run) override;
   void FillProtocolMetrics(proto::RunResult* result) override;
-  bool ShardVote(int32_t shard, TxnId txn) override;
+  bool ShardVote(int32_t shard, TxnId txn, bool speculative) override;
   void OnCommitDecision(int32_t shard, TxnId txn) override;
 
  private:
@@ -64,7 +64,8 @@ class LockCcEngine : public proto::ShardedEngineBase, public PolicyHost {
                        ItemId item, LockMode mode);
   void ServerOnRelease(int32_t shard, TxnId txn, std::vector<Update> updates);
   void SendGrant(int32_t shard, TxnId txn, ItemId item, LockMode mode);
-  /// Install + release on `shard` at prepare time (release_at_prepare).
+  /// Install + release on `shard` ahead of the client's release message:
+  /// at prepare time (release_at_prepare) or at decision arrival (kCoord).
   void ReleaseShardEarly(int32_t shard, TxnId txn);
 
   std::vector<std::unique_ptr<db::LockTable>> lock_tables_;

@@ -73,6 +73,7 @@ void OccEngine::StartCommit(TxnRun& run) {
   const SimTime force_delay = client.wal->Force(lsn);
   VoteCtx ctx;
   ctx.votes_pending = static_cast<int32_t>(participants.size());
+  ctx.prepares_pending = static_cast<int32_t>(participants.size());
   ctx.participants = participants;
   votes_[txn] = std::move(ctx);
   auto send_validates = [this, txn, participants = std::move(participants)] {
@@ -81,6 +82,7 @@ void OccEngine::StartCommit(TxnRun& run) {
       votes_.erase(txn);
       return;
     }
+    votes_.at(txn).sent_time = simulator().Now();
     for (int32_t shard : participants) {
       SendValidate(shard, *current, /*multi=*/true);
     }
@@ -129,6 +131,16 @@ void OccEngine::OnValidate(int32_t shard, TxnId txn, SiteId client_site,
       event.shard = shard;
       event.site = ServerSiteOf(shard);
       tracer().Emit(std::move(event));
+    }
+    auto vote_it = votes_.find(txn);
+    if (vote_it != votes_.end() &&
+        --vote_it->second.prepares_pending == 0) {
+      // Last validate of the fan-out landed: close the prepare sub-span.
+      TxnRun* owner = FindRun(txn);
+      if (owner != nullptr && !owner->finished) {
+        owner->span.commit_prepare =
+            simulator().Now() - vote_it->second.sent_time;
+      }
     }
   }
   TxnRun* run = FindRun(txn);
@@ -196,6 +208,7 @@ void OccEngine::OnOccVote(TxnId txn, int32_t shard, bool yes) {
   ctx.all_yes = ctx.all_yes && yes;
   if (--ctx.votes_pending > 0) return;
   const bool all_yes = ctx.all_yes;
+  const SimTime sent_time = ctx.sent_time;
   const std::vector<int32_t> participants = std::move(ctx.participants);
   votes_.erase(it);
   TxnRun* run = FindRun(txn);
@@ -205,9 +218,15 @@ void OccEngine::OnOccVote(TxnId txn, int32_t shard, bool yes) {
     // the run instantly — unreachable in practice; kept as a safety net.
     return;
   }
+  run->span.commit_vote =
+      simulator().Now() - sent_time - run->span.commit_prepare;
+  run->commit_flights = 2;
   if (measuring()) {
     ++cross_server_commits_;
     commit_participants_.Add(static_cast<double>(participants.size()));
+    if (config().commit_path != proto::CommitPath::kClassic) {
+      ++commit_path_fallbacks_;
+    }
   }
   const SiteId from = run->site();
   for (int32_t participant : participants) {
@@ -335,9 +354,10 @@ void OccEngine::OnClientAborted(TxnRun& run) {
   }
 }
 
-bool OccEngine::ShardVote(int32_t shard, TxnId txn) {
+bool OccEngine::ShardVote(int32_t shard, TxnId txn, bool speculative) {
   (void)shard;
   (void)txn;
+  (void)speculative;
   GTPL_CHECK(false) << "OCC overrides StartCommit; base 2PC is unreachable";
   return false;
 }
@@ -349,8 +369,7 @@ void OccEngine::OnCommitDecision(int32_t shard, TxnId txn) {
 }
 
 void OccEngine::FillProtocolMetrics(RunResult* result) {
-  result->cross_server_commits = cross_server_commits_;
-  result->commit_participants = commit_participants_;
+  ShardedEngineBase::FillProtocolMetrics(result);
 }
 
 }  // namespace gtpl::cc

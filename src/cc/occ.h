@@ -44,9 +44,16 @@ class OccEngine : public proto::ShardedEngineBase {
   void DoCommit(TxnRun& run) override;
   void OnClientAborted(TxnRun& run) override;
   void FillProtocolMetrics(proto::RunResult* result) override;
-  /// Certification commit: overrides the base 2PC entirely.
+  /// Certification commit: overrides the base 2PC entirely. Votes are
+  /// decided by validation (data-dependent), so the geo-aware commit paths
+  /// do not apply: cross-server commits always run the classic two-flight
+  /// pattern and count commit_path_fallbacks when another path was asked.
   void StartCommit(TxnRun& run) override;
-  bool ShardVote(int32_t shard, TxnId txn) override;        // unreachable
+  /// kEarly's speculative prepares would route into the unreachable
+  /// ShardVote below; OCC opts out (part of the classic fallback).
+  void PreRequestHook(TxnRun& run) override { (void)run; }
+  bool ShardVote(int32_t shard, TxnId txn, bool speculative)
+      override;                                             // unreachable
   void OnCommitDecision(int32_t shard, TxnId txn) override; // unreachable
 
  private:
@@ -59,6 +66,10 @@ class OccEngine : public proto::ShardedEngineBase {
     int32_t votes_pending = 0;
     bool all_yes = true;
     std::vector<int32_t> participants;
+    /// Fan-out instant and validates still in flight — mirrors the base
+    /// CommitCtx so OCC reports the same per-round commit sub-spans.
+    SimTime sent_time = 0;
+    int32_t prepares_pending = 0;
   };
 
   void OnRead(int32_t shard, TxnId txn, SiteId client_site, ItemId item,

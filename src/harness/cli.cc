@@ -80,6 +80,14 @@ Status ParseCli(int argc, char** argv, CliOptions* options) {
         return status;
       }
       options->cc = v7;
+    } else if (const char* v8 = value_of("--commit=")) {
+      const Status status =
+          proto::ParseCommitPathName(v8, &options->commit_path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return status;
+      }
+      options->commit = v8;
     } else if (arg == "--full") {
       options->scale.measured_txns = 50000;
       options->scale.warmup_txns = 5000;
@@ -95,9 +103,11 @@ Status ParseCli(int argc, char** argv, CliOptions* options) {
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: %s [--txns=N] [--warmup=N] [--runs=N] [--seed=N] "
-                   "[--jobs=N] [--cc=NAME] [--full] [--quick] [--smoke] "
-                   "[--csv=PATH]\n  engines: %s\n",
-                   argv[0], cc::EngineNames().c_str());
+                   "[--jobs=N] [--cc=NAME] [--commit=NAME] [--full] "
+                   "[--quick] [--smoke] [--csv=PATH]\n  engines: %s\n"
+                   "  commit paths: %s\n",
+                   argv[0], cc::EngineNames().c_str(),
+                   proto::CommitPathNames().c_str());
       return Status::InvalidArgument("help requested");
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());

@@ -19,6 +19,8 @@ namespace gtpl::harness {
 ///                bit-identical at any value)
 ///   --cc=NAME    restrict a protocol-sweeping bench to one registered
 ///                engine (strict: unknown names fail listing the registry)
+///   --commit=NAME  commit path for cross-server 2PC (classic, early,
+///                fastpath, coord; strict like --cc)
 ///   --full       paper scale: 50000 measured txns, 5 replications
 ///   --quick      smoke scale: 800 measured txns, 2 replications
 ///   --smoke      CI scale: 200 measured txns, 1 replication
@@ -32,6 +34,10 @@ struct CliOptions {
   /// meaningful only when `cc` is non-empty.
   std::string cc;
   proto::Protocol cc_protocol = proto::Protocol::kS2pl;
+  /// Commit-path name from --commit, empty when the flag was not given
+  /// (benches then sweep their default variant set or run kClassic).
+  std::string commit;
+  proto::CommitPath commit_path = proto::CommitPath::kClassic;
 };
 
 /// Strict numeric parsing for CLI flag values (std::from_chars; the whole

@@ -58,6 +58,14 @@ PointResult AggregateReplications(std::vector<ReplicaRun>& runs) {
   double resp_p99 = 0.0;
   double opw_p99 = 0.0;
   int64_t cross_runs = 0;
+  double commit_prepare = 0.0;
+  double commit_vote = 0.0;
+  double xcommit_p50 = 0.0;
+  double commit_flights = 0.0;
+  int64_t flight_runs = 0;
+  double fastpath_pct = 0.0;
+  double coord_pct = 0.0;
+  double fallback_pct = 0.0;
   for (ReplicaRun& run : runs) {
     proto::RunResult& result = run.result;
     responses.push_back(result.response.mean());
@@ -77,11 +85,26 @@ PointResult AggregateReplications(std::vector<ReplicaRun>& runs) {
                     static_cast<double>(result.commits);
       cross_pct += 100.0 * static_cast<double>(result.cross_server_commits) /
                    static_cast<double>(result.commits);
+      fastpath_pct += 100.0 * static_cast<double>(result.fastpath_commits) /
+                      static_cast<double>(result.commits);
+      coord_pct += 100.0 *
+                   static_cast<double>(result.coord_remote_commits) /
+                   static_cast<double>(result.commits);
+      fallback_pct += 100.0 *
+                      static_cast<double>(result.commit_path_fallbacks) /
+                      static_cast<double>(result.commits);
     }
     if (result.commit_participants.count() > 0) {
       participants += result.commit_participants.mean();
       ++cross_runs;
     }
+    if (result.commit_flights.count() > 0) {
+      commit_flights += result.commit_flights.mean();
+      xcommit_p50 += result.xcommit_span_hist.Percentile(0.50);
+      ++flight_runs;
+    }
+    commit_prepare += result.span_commit_prepare.mean();
+    commit_vote += result.span_commit_vote.mean();
     mean_cap += result.mean_effective_cap;
     final_cap += result.final_effective_cap;
     cap_increases += static_cast<double>(result.cap_increases);
@@ -130,6 +153,16 @@ PointResult AggregateReplications(std::vector<ReplicaRun>& runs) {
   out.response_p95 = resp_p95 / runs_count;
   out.response_p99 = resp_p99 / runs_count;
   out.op_wait_p99 = opw_p99 / runs_count;
+  out.mean_commit_prepare = commit_prepare / runs_count;
+  out.mean_commit_vote = commit_vote / runs_count;
+  out.fastpath_pct = fastpath_pct / runs_count;
+  out.coord_remote_pct = coord_pct / runs_count;
+  out.fallback_pct = fallback_pct / runs_count;
+  out.mean_commit_flights =
+      flight_runs > 0 ? commit_flights / static_cast<double>(flight_runs)
+                      : 0.0;
+  out.xcommit_p50 =
+      flight_runs > 0 ? xcommit_p50 / static_cast<double>(flight_runs) : 0.0;
   return out;
 }
 

@@ -41,6 +41,18 @@ struct PointResult {
   /// mean number of participant servers per such commit (0 when unsharded).
   double cross_server_pct = 0.0;
   double mean_commit_participants = 0.0;
+  /// Geo-aware commit-path telemetry (0 unless sharded; DESIGN.md §13):
+  /// per-round commit sub-span means, the p50 of the cross-server commit
+  /// span, mean blocking WAN flights per cross-server commit, and the % of
+  /// measured commits that took the fast path / a remote coordinator / the
+  /// classic fallback (OCC).
+  double mean_commit_prepare = 0.0;
+  double mean_commit_vote = 0.0;
+  double xcommit_p50 = 0.0;
+  double mean_commit_flights = 0.0;
+  double fastpath_pct = 0.0;
+  double coord_remote_pct = 0.0;
+  double fallback_pct = 0.0;
   /// Committed-transaction latency breakdown (DESIGN.md §11), averaged
   /// across replications. The five phase means sum to response.mean (each
   /// replication's phases sum exactly to its mean response time).

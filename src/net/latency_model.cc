@@ -14,6 +14,12 @@ SimTime UniformLatency::Latency(SiteId from, SiteId to) {
   return latency_;
 }
 
+SimTime UniformLatency::BaseLatency(SiteId from, SiteId to) const {
+  (void)from;
+  (void)to;
+  return latency_;
+}
+
 MatrixLatency::MatrixLatency(std::vector<std::vector<SimTime>> matrix,
                              SimTime jitter, uint64_t seed)
     : matrix_(std::move(matrix)), jitter_(jitter), rng_(seed) {
@@ -32,6 +38,14 @@ SimTime MatrixLatency::Latency(SiteId from, SiteId to) {
   SimTime base = matrix_[static_cast<size_t>(from)][static_cast<size_t>(to)];
   if (jitter_ > 0) base += rng_.UniformInt(0, jitter_);
   return base;
+}
+
+SimTime MatrixLatency::BaseLatency(SiteId from, SiteId to) const {
+  GTPL_CHECK_GE(from, 0);
+  GTPL_CHECK_GE(to, 0);
+  GTPL_CHECK_LT(static_cast<size_t>(from), matrix_.size());
+  GTPL_CHECK_LT(static_cast<size_t>(to), matrix_.size());
+  return matrix_[static_cast<size_t>(from)][static_cast<size_t>(to)];
 }
 
 const std::vector<NetworkEnvironment>& PaperEnvironments() {

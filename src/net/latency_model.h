@@ -22,6 +22,12 @@ class LatencyModel {
 
   /// One-way delay for a message sent now from `from` to `to`.
   virtual SimTime Latency(SiteId from, SiteId to) = 0;
+
+  /// The static (jitter-free) component of Latency(from, to). Protocol
+  /// placement decisions — e.g. the kCoord commit path's per-transaction
+  /// coordinator choice — consult this so they stay deterministic and never
+  /// draw from the jitter stream.
+  virtual SimTime BaseLatency(SiteId from, SiteId to) const = 0;
 };
 
 /// The paper's model: one constant for every site pair.
@@ -30,6 +36,7 @@ class UniformLatency : public LatencyModel {
   explicit UniformLatency(SimTime latency);
 
   SimTime Latency(SiteId from, SiteId to) override;
+  SimTime BaseLatency(SiteId from, SiteId to) const override;
 
   SimTime latency() const { return latency_; }
 
@@ -46,6 +53,7 @@ class MatrixLatency : public LatencyModel {
                 uint64_t seed);
 
   SimTime Latency(SiteId from, SiteId to) override;
+  SimTime BaseLatency(SiteId from, SiteId to) const override;
 
  private:
   std::vector<std::vector<SimTime>> matrix_;

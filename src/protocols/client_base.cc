@@ -13,7 +13,8 @@ namespace gtpl::proto {
 EngineBase::EngineBase(const SimConfig& config) : config_(config) {
   GTPL_CHECK(config.Validate().ok()) << config.Validate().ToString();
   std::unique_ptr<net::LatencyModel> latency_model;
-  if (config.latency_jitter == 0 && config.latency_spread == 0.0) {
+  if (config.latency_jitter == 0 && config.latency_spread == 0.0 &&
+      config.server_latency < 0) {
     latency_model = std::make_unique<net::UniformLatency>(config.latency);
   } else {
     // Heterogeneous sites: per-endpoint distance offsets plus optional
@@ -35,9 +36,19 @@ EngineBase::EngineBase(const SimConfig& config) : config_(config) {
     }
     std::vector<std::vector<SimTime>> matrix(sites,
                                              std::vector<SimTime>(sites, 0));
+    const auto is_server_site = [&](size_t site) {
+      return site == 0 || site >= client_sites;
+    };
     for (size_t a = 0; a < sites; ++a) {
       for (size_t b = 0; b < sites; ++b) {
         if (a == b) continue;
+        if (config.server_latency >= 0 && is_server_site(a) &&
+            is_server_site(b)) {
+          // Fast inter-datacenter mesh between shard servers (the kCoord
+          // commit path's motivating regime).
+          matrix[a][b] = config.server_latency;
+          continue;
+        }
         matrix[a][b] =
             std::max<SimTime>(0, config.latency + offset[a] + offset[b]);
       }
@@ -70,6 +81,7 @@ EngineBase::EngineBase(const SimConfig& config) : config_(config) {
     const double unit = static_cast<double>(std::max<SimTime>(config.latency, 8));
     result_.response_hist = stats::Histogram(unit * 8192.0, 8192);
     result_.op_wait_hist = stats::Histogram(unit * 1024.0, 4096);
+    result_.xcommit_span_hist = stats::Histogram(unit * 1024.0, 4096);
   }
   store_ = std::make_unique<db::DataStore>(config.workload.num_items);
   server_wal_ = std::make_unique<db::WriteAheadLog>(config.wal_force_delay);
@@ -148,7 +160,7 @@ void EngineBase::BeginTxn(ClientState& client) {
     event.payload = static_cast<int64_t>(client.current->spec.ops.size());
     tracer_.Emit(std::move(event));
   }
-  SendRequest(*client.current);
+  IssueRequest(*client.current);
 }
 
 void EngineBase::ScheduleNextTxn(ClientState& client) {
@@ -231,7 +243,7 @@ void EngineBase::FinishOp(TxnRun& run) {
   }
   ++run.current_op;
   run.request_time = sim_.Now();
-  SendRequest(run);
+  IssueRequest(run);
 }
 
 void EngineBase::StartCommit(TxnRun& run) {
@@ -272,6 +284,13 @@ void EngineBase::FinalizeCommit(TxnRun& run) {
     result_.span_queueing.Add(static_cast<double>(run.span.queueing));
     result_.span_execution.Add(static_cast<double>(run.span.execution));
     result_.span_commit.Add(static_cast<double>(run.span.commit));
+    result_.span_commit_prepare.Add(
+        static_cast<double>(run.span.commit_prepare));
+    result_.span_commit_vote.Add(static_cast<double>(run.span.commit_vote));
+    if (run.commit_flights >= 0) {
+      result_.commit_flights.Add(static_cast<double>(run.commit_flights));
+      result_.xcommit_span_hist.Add(static_cast<double>(run.span.commit));
+    }
     if (config_.record_history) {
       CommittedTxn committed;
       committed.id = run.id;
@@ -280,6 +299,7 @@ void EngineBase::FinalizeCommit(TxnRun& run) {
       committed.commit_time = sim_.Now();
       committed.span = run.span;
       committed.ops = run.records;
+      committed.commit_flights = run.commit_flights;
       result_.history.push_back(std::move(committed));
     }
     ++measured_commits_;
@@ -293,6 +313,7 @@ void EngineBase::FinalizeCommit(TxnRun& run) {
     committed.commit_time = sim_.Now();
     committed.span = run.span;
     committed.ops = run.records;
+    committed.commit_flights = run.commit_flights;
     result_.history.push_back(std::move(committed));
   }
   if (tracer_.enabled()) {
@@ -320,6 +341,7 @@ void EngineBase::FinalizeCommit(TxnRun& run) {
   }
   gc_queues_[static_cast<size_t>(run.client_index)].push_back(std::move(gc));
   DoCommit(run);
+  OnTxnClosed(run);
   if (measured_commits_ >= config_.measured_txns) {
     sim_.Stop();
     return;
@@ -426,6 +448,7 @@ void EngineBase::AbortNoticeArrived(TxnId txn, int32_t client_index) {
   client.wal->Append(db::LogRecordKind::kAbort, txn, kInvalidItem, 0);
   ++client.restart_streak;
   OnClientAborted(*run);
+  OnTxnClosed(*run);
   ScheduleNextTxn(client);
 }
 

@@ -53,6 +53,9 @@ Status SimConfig::Validate() const {
         "sharding does not support the caching protocols");
   }
   if (latency < 0) return Status::InvalidArgument("latency must be >= 0");
+  if (server_latency < -1) {
+    return Status::InvalidArgument("server_latency must be -1 or >= 0");
+  }
   if (latency_jitter < 0) {
     return Status::InvalidArgument("latency_jitter must be >= 0");
   }

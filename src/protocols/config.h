@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "core/window_manager.h"
+#include "protocols/commit.h"
 #include "workload/generator.h"
 
 namespace gtpl::proto {
@@ -62,6 +63,19 @@ struct SimConfig {
   /// num_clients + k.
   int32_t num_servers = 1;
   ShardRouting shard_routing = ShardRouting::kHash;
+
+  /// Cross-server commit-path variant (protocols/commit.h, DESIGN.md §13).
+  /// kClassic (default) is bit-identical to the pre-registry 2PC; the other
+  /// variants shave WAN flights off the commit phase and are selected with
+  /// --commit=NAME. Inert when num_servers == 1 (no cross-server commits).
+  CommitPath commit_path = CommitPath::kClassic;
+
+  /// One-way latency override for server-to-server messages (the commit
+  /// handoff/prepare/vote/decision legs between shard sites). -1 (default)
+  /// keeps the base latency model untouched — the paper's uniform
+  /// assumption; >= 0 models a fast inter-datacenter mesh, the regime where
+  /// kCoord's remote-coordinator choice pays off.
+  SimTime server_latency = -1;
 
   /// Extensions beyond the paper's uniform-latency assumption ("the network
   /// latency between any two sites ... is the same"). `latency_jitter` adds

@@ -65,6 +65,9 @@ class EngineBase {
     SimTime req_queue = 0;
     /// When the commit phase started (last op's think elapsed).
     SimTime commit_start = 0;
+    /// Blocking one-way WAN flights the commit phase paid: -1 until a
+    /// cross-server 2PC path sets it (single-shard commits keep -1).
+    int32_t commit_flights = -1;
 
     SiteId site() const { return client_index + 1; }
     const workload::Operation& op() const { return spec.ops[current_op]; }
@@ -93,6 +96,20 @@ class EngineBase {
   /// protocols); optimistic protocols override to run certification and
   /// call FinalizeCommit / ServerAbortDecision asynchronously.
   virtual void StartCommit(TxnRun& run);
+  /// Called just before SendRequest for every operation (first and
+  /// subsequent). Default no-op; the kEarly commit path piggybacks
+  /// speculative prepares on the last operation touching each shard here.
+  virtual void PreRequestHook(TxnRun& run) { (void)run; }
+  /// The run ended (committed or the abort notice arrived): drop any
+  /// per-transaction bookkeeping. Default no-op.
+  virtual void OnTxnClosed(const TxnRun& run) { (void)run; }
+
+  /// PreRequestHook + SendRequest — the lifecycle's single entry for
+  /// issuing the current operation's request.
+  void IssueRequest(TxnRun& run) {
+    PreRequestHook(run);
+    SendRequest(run);
+  }
 
   // --- services for protocol subclasses -------------------------------
   /// The server decided to abort `txn`: dooms it instantly (it can no longer

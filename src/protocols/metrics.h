@@ -41,6 +41,23 @@ struct TxnSpan {
   /// Commit phase: WAL force, 2PC prepare + vote rounds, certification.
   SimTime commit = 0;
 
+  /// Per-round decomposition of `commit` for cross-server 2PC commits
+  /// (both 0 otherwise, and 0 when a variant removed the round). The
+  /// prepare round runs fan-out to the last prepare arrival at a
+  /// participant (under kCoord it includes the handoff leg); the vote
+  /// round runs from there until the coordinator tallied every vote. What
+  /// remains of `commit` is CommitResidual(): WAL forces and, under
+  /// kCoord, the ack leg back to the client. Always:
+  ///   0 <= commit_prepare, 0 <= commit_vote,
+  ///   commit_prepare + commit_vote <= commit
+  /// (span_accounting_test pins this for every engine x commit path).
+  SimTime commit_prepare = 0;
+  SimTime commit_vote = 0;
+
+  SimTime CommitResidual() const {
+    return commit - commit_prepare - commit_vote;
+  }
+
   SimTime Total() const {
     return lock_wait + propagation + queueing + execution + commit;
   }
@@ -54,6 +71,10 @@ struct CommittedTxn {
   SimTime commit_time = 0;
   TxnSpan span;
   std::vector<OpRecord> ops;
+  /// Blocking one-way WAN flights the commit phase paid: -1 for
+  /// single-shard commits (no 2PC), else the per-variant count the
+  /// round-count battery asserts against ExpectedCommitFlights.
+  int32_t commit_flights = -1;
 };
 
 /// Everything a single simulation run produces.
@@ -85,12 +106,21 @@ struct RunResult {
   stats::Welford span_queueing;
   stats::Welford span_execution;
   stats::Welford span_commit;
+  /// Per-round commit sub-spans (TxnSpan::commit_prepare / commit_vote),
+  /// over the same committed transactions; nonzero only for cross-server
+  /// 2PC commits, so the attribution tables can show exactly which round
+  /// each commit-path variant removes.
+  stats::Welford span_commit_prepare;
+  stats::Welford span_commit_vote;
 
   /// Full distributions behind the Welford means: committed-transaction
   /// response times and per-operation waits (measured phase). Sized by the
   /// engine from the configured latency.
   stats::Histogram response_hist;
   stats::Histogram op_wait_hist;
+  /// Commit-phase span distribution of *cross-server* commits only
+  /// (measured phase) — the p50 the commit bench attributes per variant.
+  stats::Histogram xcommit_span_hist;
 
   int64_t commits = 0;         // measured phase
   int64_t aborts = 0;          // measured phase
@@ -122,6 +152,21 @@ struct RunResult {
   int64_t cross_server_commits = 0;  // measured phase
   /// Participant servers per cross-server commit (measured phase).
   stats::Welford commit_participants;
+
+  // Commit-path telemetry (protocols/commit.h; all 0 under kClassic /
+  // unsharded runs, measured phase).
+  /// Blocking one-way WAN flights per cross-server commit.
+  stats::Welford commit_flights;
+  /// Cross-server commits that took the single-write-shard fast path.
+  int64_t fastpath_commits = 0;
+  /// Speculative prepares sent ahead of the commit point (kEarly).
+  int64_t early_prepares = 0;
+  /// Cross-server commits coordinated by a server instead of the client
+  /// (kCoord chose the write-heaviest participant's site).
+  int64_t coord_remote_commits = 0;
+  /// Cross-server commits that fell back to the classic path because the
+  /// engine runs its own certification commit (OCC).
+  int64_t commit_path_fallbacks = 0;
 
   // Recovery substrate counters. `wal_retained` is the number of log
   // records still held at end of run; garbage collection (triggered when

@@ -291,5 +291,76 @@ TEST(GoldenTest, CcZooGrid) {
   CompareOrUpdate("cczoo.golden", table.ToCsv());
 }
 
+TEST(GoldenTest, CommitPathGrid) {
+  // Shrunk version of bench_ext_commit's grid (A17): every commit-path
+  // variant over latency x read mix at 4 servers, plus the coordinator
+  // ablation point (fast server mesh) where kCoord actually moves the
+  // coordinator. Pins the cross-server share, the per-round sub-spans, the
+  // p50 cross-commit span, the flight counts, and the variant telemetry —
+  // any change to the 2PC machinery that shifts one metric of one variant
+  // fails here even with every invariant intact.
+  std::vector<proto::SimConfig> points;
+  struct Row {
+    proto::CommitPath path;
+    SimTime latency;
+    SimTime server_latency;
+    double read_prob;
+  };
+  std::vector<Row> rows;
+  for (const proto::CommitPathInfo& info : proto::CommitPaths()) {
+    for (SimTime latency : {100, 400}) {
+      for (double read_prob : {0.2, 0.8}) {
+        proto::SimConfig config = TinyBaseConfig();
+        config.protocol = proto::Protocol::kS2pl;
+        config.num_servers = 4;
+        config.latency = latency;
+        config.commit_path = info.path;
+        config.workload.read_prob = read_prob;
+        points.push_back(config);
+        rows.push_back({info.path, latency, -1, read_prob});
+      }
+    }
+    // The fast-mesh point: only classic vs coord differ here, but running
+    // all four keeps the table uniform and pins that early/fastpath ignore
+    // server_latency for their own flights.
+    proto::SimConfig mesh = TinyBaseConfig();
+    mesh.protocol = proto::Protocol::kS2pl;
+    mesh.num_servers = 4;
+    mesh.latency = 200;
+    mesh.server_latency = 20;
+    mesh.commit_path = info.path;
+    mesh.workload.read_prob = 0.5;
+    points.push_back(mesh);
+    rows.push_back({info.path, 200, 20, 0.5});
+  }
+  const SweepResult sweep = RunSweep(points, /*runs=*/2, /*jobs=*/2);
+  Table table({"commit", "latency", "srvlat", "readp", "resp", "abort%",
+               "xserver%", "prep", "vote", "xp50", "flights", "fast%",
+               "coord%", "fb%"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const PointResult& point = sweep.points[i];
+    EXPECT_FALSE(point.any_timed_out);
+    EXPECT_NEAR(point.mean_lock_wait + point.mean_propagation +
+                    point.mean_queueing + point.mean_execution +
+                    point.mean_commit_phase,
+                point.response.mean, 1e-6 * point.response.mean + 1e-6);
+    // The sub-spans never exceed the commit phase they decompose.
+    EXPECT_LE(point.mean_commit_prepare + point.mean_commit_vote,
+              point.mean_commit_phase + 1e-9);
+    table.AddRow({proto::ToString(rows[i].path),
+                  std::to_string(rows[i].latency),
+                  std::to_string(rows[i].server_latency),
+                  Fmt(rows[i].read_prob, 1), Fmt(point.response.mean, 3),
+                  Fmt(point.abort_pct.mean, 3),
+                  Fmt(point.cross_server_pct, 3),
+                  Fmt(point.mean_commit_prepare, 3),
+                  Fmt(point.mean_commit_vote, 3), Fmt(point.xcommit_p50, 3),
+                  Fmt(point.mean_commit_flights, 3),
+                  Fmt(point.fastpath_pct, 3), Fmt(point.coord_remote_pct, 3),
+                  Fmt(point.fallback_pct, 3)});
+  }
+  CompareOrUpdate("commit.golden", table.ToCsv());
+}
+
 }  // namespace
 }  // namespace gtpl::harness

@@ -9,6 +9,7 @@
 
 #include "harness/cli.h"
 #include "harness/table.h"
+#include "protocols/commit.h"
 
 namespace gtpl::harness {
 namespace {
@@ -202,6 +203,40 @@ TEST(CliTest, StopsAtFirstBadFlagAndTreatsHelpAsExit) {
   const Status status = ParseCli(2, argv2, &help_options);
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.message(), "help requested");
+}
+
+// --commit resolves through the commit-path registry with the same strict
+// contract as --cc: every registered name parses to its enum value, and an
+// unknown name rejects the invocation with an error listing the registry.
+TEST(CliTest, ParsesCommitPathFlag) {
+  for (const proto::CommitPathInfo& info : proto::CommitPaths()) {
+    CliOptions options;
+    std::string flag = std::string("--commit=") + info.name;
+    std::vector<char> arg(flag.begin(), flag.end());
+    arg.push_back('\0');
+    char prog[] = "bench";
+    char* argv[] = {prog, arg.data()};
+    ASSERT_TRUE(ParseCli(2, argv, &options).ok()) << info.name;
+    EXPECT_EQ(options.commit, info.name);
+    EXPECT_EQ(options.commit_path, info.path) << info.name;
+  }
+}
+
+TEST(CliTest, RejectsUnknownCommitPathListingRegistry) {
+  CliOptions options;
+  char prog[] = "bench";
+  char bad[] = "--commit=bogus";
+  char* argv[] = {prog, bad};
+  const Status status = ParseCli(2, argv, &options);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("unknown commit path 'bogus'"),
+            std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("classic"), std::string::npos);
+  EXPECT_EQ(options.commit, "");  // nothing applied on failure
+  char empty[] = "--commit=";
+  char* argv2[] = {prog, empty};
+  EXPECT_FALSE(ParseCli(2, argv2, &options).ok());
 }
 
 TEST(ExperimentTest, RunReplicatedAggregatesAcrossSeeds) {
