@@ -15,6 +15,7 @@
 #include "harness/cli.h"
 #include "harness/experiment.h"
 #include "harness/table.h"
+#include "lease/lease.h"
 #include "obs/export.h"
 #include "protocols/config.h"
 #include "protocols/engine.h"
@@ -77,7 +78,13 @@ void PrintUsage(const char* prog) {
       "  --ops=MIN:MAX        items accessed per txn (1:5)\n"
       "  --read-prob=F        probability an access is a read (0.5)\n"
       "  --zipf=F             access skew theta, 0 = uniform (0)\n"
+      "  --repeat-prob=F      probability a txn re-accesses the previous\n"
+      "                       txn's items (0)\n"
       "  --sorted             access items in ascending id order\n"
+      "  --lease=NAME         client lock-lease mode (none). Modes:\n"
+      "                       %s\n"
+      "  --lease-ttl=N        lease lifetime, time units; 0 = infinite (0)\n"
+      "  --lease-max-held=N   max unpinned leases per client; 0 = inf (0)\n"
       "  --txns=N             measured committed transactions (10000)\n"
       "  --warmup=N           transient-phase transactions excluded (1000)\n"
       "  --runs=N             independent replications (1)\n"
@@ -101,7 +108,8 @@ void PrintUsage(const char* prog) {
       "  --trace-format=jsonl|chrome   trace file format (jsonl; chrome\n"
       "                       loads into chrome://tracing / Perfetto)\n",
       prog, gtpl::cc::EngineNames().c_str(),
-      gtpl::proto::CommitPathNames().c_str());
+      gtpl::proto::CommitPathNames().c_str(),
+      gtpl::lease::LeaseModeNames().c_str());
 }
 
 bool ParseFlag(const std::string& arg, Flags* flags) {
@@ -179,8 +187,23 @@ bool ParseFlag(const std::string& arg, Flags* flags) {
     return ParseDoubleFlag("--read-prob", v8, &config.workload.read_prob);
   } else if (const char* v9 = value_of("--zipf=")) {
     return ParseDoubleFlag("--zipf", v9, &config.workload.zipf_theta);
+  } else if (const char* vrp = value_of("--repeat-prob=")) {
+    return ParseDoubleFlag("--repeat-prob", vrp,
+                           &config.workload.repeat_prob);
   } else if (arg == "--sorted") {
     config.workload.sorted_access = true;
+  } else if (const char* vlm = value_of("--lease=")) {
+    // Strict: unknown names fail (non-zero exit) listing the registry.
+    const gtpl::Status status =
+        gtpl::lease::ParseLeaseModeName(vlm, &config.lease.mode);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return BadValue("--lease", vlm);
+    }
+  } else if (const char* vlt = value_of("--lease-ttl=")) {
+    return ParseInt64Flag("--lease-ttl", vlt, &config.lease.ttl);
+  } else if (const char* vlh = value_of("--lease-max-held=")) {
+    return ParseInt32Flag("--lease-max-held", vlh, &config.lease.max_held);
   } else if (const char* v10 = value_of("--txns=")) {
     return ParseInt64Flag("--txns", v10, &config.measured_txns);
   } else if (const char* v11 = value_of("--warmup=")) {
@@ -309,6 +332,13 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  if (flags.config.lease.mode != gtpl::lease::LeaseMode::kNone) {
+    std::printf("lease mode %s, ttl %lld, max held %d, repeat prob %.2f\n",
+                gtpl::lease::ToString(flags.config.lease.mode),
+                static_cast<long long>(flags.config.lease.ttl),
+                flags.config.lease.max_held,
+                flags.config.workload.repeat_prob);
+  }
   if (flags.config.g2pl.adaptive.enabled) {
     const gtpl::core::AdaptiveWindowOptions& a = flags.config.g2pl.adaptive;
     std::printf("adaptive window: cap %d in [%d,%d], shrink %.2f, grow %d, "
@@ -346,8 +376,9 @@ int main(int argc, char** argv) {
                 gtpl::harness::Fmt(point.mean_execution, 1)});
   table.AddRow({"  commit phase",
                 gtpl::harness::Fmt(point.mean_commit_phase, 1)});
-  table.AddRow({"op wait p99",
-                gtpl::harness::Fmt(point.op_wait_p99, 0)});
+  table.AddRow({"op wait p50 / p99",
+                gtpl::harness::Fmt(point.op_wait_p50, 0) + " / " +
+                    gtpl::harness::Fmt(point.op_wait_p99, 0)});
   table.AddRow({"throughput (commits/1000u)",
                 gtpl::harness::Fmt(point.throughput.mean, 3)});
   table.AddRow({"messages per commit",
@@ -388,6 +419,16 @@ int main(int argc, char** argv) {
                     gtpl::harness::Fmt(point.mean_cap_increases, 1) + " / " +
                         gtpl::harness::Fmt(point.mean_cap_decreases, 1)});
     }
+  }
+  if (flags.config.lease.mode != gtpl::lease::LeaseMode::kNone) {
+    table.AddRow({"lease hits per commit",
+                  gtpl::harness::Fmt(point.lease_hits_per_commit, 2)});
+    table.AddRow({"lease revokes / releases per commit",
+                  gtpl::harness::Fmt(point.lease_revokes_per_commit, 2) +
+                      " / " +
+                      gtpl::harness::Fmt(point.lease_releases_per_commit, 2)});
+    table.AddRow({"  revoke wait (of lock wait)",
+                  gtpl::harness::Fmt(point.mean_lease_revoke_wait, 1)});
   }
   table.AddRow({"committed transactions", std::to_string(point.total_commits)});
   table.AddRow({"aborted transactions", std::to_string(point.total_aborts)});

@@ -15,11 +15,18 @@ LockCcEngine::LockCcEngine(const SimConfig& config,
                            LockEngineTraits traits)
     : ShardedEngineBase(config),
       policy_(std::move(policy)),
-      traits_(traits) {
+      traits_(traits),
+      sticky_(config.lease.mode == lease::LeaseMode::kSticky) {
   lock_tables_.reserve(static_cast<size_t>(config.num_servers));
   for (int32_t shard = 0; shard < config.num_servers; ++shard) {
     lock_tables_.push_back(
         std::make_unique<db::LockTable>(config.workload.num_items));
+  }
+  if (sticky_) {
+    lease_caches_.reserve(static_cast<size_t>(config.num_clients));
+    for (int32_t i = 0; i < config.num_clients; ++i) {
+      lease_caches_.emplace_back(config.lease.ttl, config.lease.max_held);
+    }
   }
 }
 
@@ -27,6 +34,20 @@ void LockCcEngine::SendRequest(TxnRun& run) {
   const TxnId txn = run.id;
   const SiteId site = run.site();
   const workload::Operation op = run.op();
+  if (sticky_) {
+    // Lease hit: a sufficient unexpired lease serves the acquisition with
+    // zero network flights; the cached version is coherent because any
+    // conflicting remote access would have revoked the lease first.
+    lease::LeaseCache& cache =
+        lease_caches_[static_cast<size_t>(run.client_index)];
+    Version version = 0;
+    if (cache.Hit(op.item, op.mode, simulator().Now(), &version)) {
+      ++lease_hits_;
+      cache.Pin(op.item, txn);
+      OpGranted(run, version);
+      return;
+    }
+  }
   const int32_t shard = ShardOf(op.item);
   network().Send(site, ServerSiteOf(shard), "lock-request",
                  [this, shard, txn, site, op] {
@@ -37,9 +58,12 @@ void LockCcEngine::SendRequest(TxnRun& run) {
 void LockCcEngine::ServerOnRequest(int32_t shard, TxnId txn,
                                    SiteId client_site, ItemId item,
                                    LockMode mode) {
-  (void)client_site;
   NoteRequestAtServer(txn, item, mode, shard);
   if (server_aborted_.count(txn) > 0) return;  // stale request of a victim
+  if (sticky_) {
+    LeaseServerOnRequest(shard, txn, client_site, item, mode);
+    return;
+  }
   db::LockTable& table = *lock_tables_[static_cast<size_t>(shard)];
   const db::LockResult outcome = table.Request(txn, item, mode);
   if (outcome == db::LockResult::kGranted) {
@@ -79,12 +103,21 @@ void LockCcEngine::AbortTxn(TxnId victim) {
   policy_->OnTxnFinished(victim);
   // The victim's locks are dropped on every shard at decision time (the
   // instantaneous coordination plane; see the determinism contract).
-  for (int32_t shard = 0; shard < num_servers(); ++shard) {
-    lock_tables_[static_cast<size_t>(shard)]->ReleaseAll(
-        victim, [this, shard](TxnId txn, ItemId item, LockMode mode) {
-          policy_->OnWaiterGranted(txn);
-          SendGrant(shard, txn, item, mode);
-        });
+  if (sticky_) {
+    // The victim leaves every lease queue; its *pins* are released by the
+    // client on abort-notice arrival (FlushLeasePins), since the leases
+    // themselves are site-owned and survive the transaction.
+    for (ItemId item : lease_table_.RemoveTxn(victim)) {
+      PromoteLeases(ShardOf(item), item);
+    }
+  } else {
+    for (int32_t shard = 0; shard < num_servers(); ++shard) {
+      lock_tables_[static_cast<size_t>(shard)]->ReleaseAll(
+          victim, [this, shard](TxnId txn, ItemId item, LockMode mode) {
+            policy_->OnWaiterGranted(txn);
+            SendGrant(shard, txn, item, mode);
+          });
+    }
   }
   TxnRun* run = FindRun(victim);
   GTPL_CHECK(run != nullptr) << "policy victim is not an active txn";
@@ -93,6 +126,15 @@ void LockCcEngine::AbortTxn(TxnId victim) {
 
 ItemId LockCcEngine::MaxHeldItem(TxnId txn) const {
   ItemId held = kInvalidItem;
+  if (sticky_) {
+    // The txn "holds" exactly the leases it has pinned at its own site.
+    for (const lease::LeaseCache& cache : lease_caches_) {
+      for (ItemId item : cache.PinnedItems(txn)) {
+        held = std::max(held, item);
+      }
+    }
+    return held;
+  }
   for (const auto& table : lock_tables_) {
     for (ItemId item : table->HeldItems(txn)) {
       held = std::max(held, item);
@@ -101,7 +143,17 @@ ItemId LockCcEngine::MaxHeldItem(TxnId txn) const {
   return held;
 }
 
+bool LockCcEngine::Woundable(TxnId txn) {
+  if (server_aborted_.count(txn) > 0) return false;  // already doomed
+  TxnRun* run = FindRun(txn);
+  return run != nullptr && !run->finished && !run->doomed && !run->committing;
+}
+
 void LockCcEngine::DoCommit(TxnRun& run) {
+  if (sticky_) {
+    DoCommitSticky(run);
+    return;
+  }
   // One release message per participant shard, carrying that shard's
   // updates (these releases are the effective phase two of a cross-server
   // commit; single-shard transactions send exactly the one message the
@@ -177,6 +229,14 @@ void LockCcEngine::ServerOnRelease(int32_t shard, TxnId txn,
     pending_releases_.erase(pending);
     policy_->OnTxnFinished(txn);
   }
+  if (sticky_) {
+    // No lock table to promote; instead the fresh installs may satisfy
+    // version fences of lease releases parked behind them.
+    for (const Update& update : updates) {
+      ServerInstalledItem(shard, update.item);
+    }
+    return;
+  }
   lock_tables_[static_cast<size_t>(shard)]->ReleaseAll(
       txn, [this, shard](TxnId granted, ItemId item, LockMode mode) {
         policy_->OnWaiterGranted(granted);
@@ -203,8 +263,10 @@ void LockCcEngine::ReleaseShardEarly(int32_t shard, TxnId txn) {
     const int64_t lsn = server_wal().Append(
         db::LogRecordKind::kInstall, txn, record.item, record.version_written);
     server_wal().Force(lsn);
+    if (sticky_) ServerInstalledItem(shard, record.item);
   }
   early_released_[txn].push_back(shard);
+  if (sticky_) return;  // the leases outlive the txn; nothing to promote
   lock_tables_[static_cast<size_t>(shard)]->ReleaseAll(
       txn, [this, shard](TxnId granted, ItemId item, LockMode mode) {
         policy_->OnWaiterGranted(granted);
@@ -213,8 +275,9 @@ void LockCcEngine::ReleaseShardEarly(int32_t shard, TxnId txn) {
 }
 
 void LockCcEngine::OnClientAborted(TxnRun& run) {
-  // Server state was already cleaned on every shard at decision time.
-  (void)run;
+  // Server state was already cleaned on every shard at decision time; the
+  // client still has to drop its pins so deferred revokes can drain.
+  if (sticky_) FlushLeasePins(run);
 }
 
 bool LockCcEngine::ShardVote(int32_t shard, TxnId txn, bool speculative) {
@@ -250,6 +313,302 @@ void LockCcEngine::OnCommitDecision(int32_t shard, TxnId txn) {
 
 void LockCcEngine::FillProtocolMetrics(RunResult* result) {
   ShardedEngineBase::FillProtocolMetrics(result);
+  result->lease_hits = lease_hits_;
+  result->lease_revokes = lease_revokes_;
+  result->lease_releases = lease_releases_;
+}
+
+// --- sticky-lease machinery (DESIGN.md §14) ------------------------------
+
+void LockCcEngine::DoCommitSticky(TxnRun& run) {
+  lease::LeaseCache& cache =
+      lease_caches_[static_cast<size_t>(run.client_index)];
+  // The lease carries no data back: every committed write still ships to
+  // its shard in the normal release/install message, so the server copy
+  // stays authoritative for the next grant. The client cache's version is
+  // bumped here so later local transactions read this site's own writes.
+  // Read-only shards need no message at all — the read lease simply stays.
+  std::vector<std::vector<Update>> updates_by(
+      static_cast<size_t>(num_servers()));
+  for (const proto::OpRecord& record : run.records) {
+    if (record.mode != LockMode::kExclusive) continue;
+    cache.UpdateVersion(record.item, record.version_written);
+    updates_by[static_cast<size_t>(ShardOf(record.item))].push_back(
+        Update{record.item, record.version_written});
+  }
+  const TxnId txn = run.id;
+  auto early = early_released_.find(txn);
+  if (early != early_released_.end()) {
+    for (int32_t shard : early->second) {
+      updates_by[static_cast<size_t>(shard)].clear();  // installed at prepare
+    }
+    early_released_.erase(early);
+  }
+  int32_t participants = 0;
+  for (const auto& updates : updates_by) participants += updates.empty() ? 0 : 1;
+  if (participants == 0) {
+    policy_->OnTxnFinished(txn);
+    MaybeGcClientLogs();
+  } else {
+    pending_releases_[txn] = participants;
+    for (int32_t shard = 0; shard < num_servers(); ++shard) {
+      std::vector<Update>& updates = updates_by[static_cast<size_t>(shard)];
+      if (updates.empty()) continue;
+      const uint64_t payload =
+          net::kControlPayload + net::kDataPayload * updates.size();
+      network().Send(
+          run.site(), ServerSiteOf(shard), "release",
+          [this, shard, txn, updates = std::move(updates)] {
+            ServerOnRelease(shard, txn, updates);
+          },
+          payload);
+    }
+  }
+  // Deferred revoke releases leave only now, *after* the installs: same-tick
+  // FIFO delivery plus the server-side version fence guarantee the next
+  // holder is granted the committed version, never a stale one.
+  FlushLeasePins(run);
+}
+
+void LockCcEngine::LeaseServerOnRequest(int32_t shard, TxnId txn,
+                                        SiteId client_site, ItemId item,
+                                        LockMode mode) {
+  lease::AdmitOutcome outcome =
+      lease_table_.Admit(txn, client_site, item, mode, simulator().Now());
+  if (outcome.granted) {
+    EmitLeaseEvent(obs::EventKind::kLeaseGrant,
+                   proto::ProtocolEventKind::kLeaseGranted, shard, txn,
+                   client_site, item, mode == LockMode::kExclusive);
+    SendLeaseGrant(shard, txn, item, mode, /*revoke_wait=*/0);
+    return;
+  }
+  // Blocked behind holders and/or earlier waiters: fire the callback
+  // revocations first (a marked revoke must always be sent, even if the
+  // policy aborts the requester right after — the holders' replies are what
+  // clears the revoke-outstanding marks), then let the policy resolve the
+  // conflict exactly as it would for a lock-table block.
+  SendLeaseRevokes(shard, item, outcome.revoke_sites, outcome.collector);
+  if (server_aborted_.count(txn) > 0) return;  // wounded by its own revoke
+  current_shard_ = shard;
+  policy_->OnBlocked(txn, item, LeaseBlockers(txn, client_site, item, mode),
+                     *this);
+}
+
+void LockCcEngine::SendLeaseGrant(int32_t shard, TxnId txn, ItemId item,
+                                  LockMode mode, SimTime revoke_wait) {
+  TxnRun* run = FindRun(txn);
+  if (run == nullptr) return;  // finished in the meantime (nothing to ship)
+  run->pending_revoke_wait = revoke_wait;
+  const Version version = store().VersionOf(item);
+  network().Send(
+      ServerSiteOf(shard), run->site(), "grant+data",
+      [this, txn, item, mode, version] {
+        TxnRun* target = FindRun(txn);
+        if (target == nullptr || target->finished || target->doomed) {
+          return;
+        }
+        GTPL_CHECK_EQ(target->op().item, item);
+        lease::LeaseCache& cache =
+            lease_caches_[static_cast<size_t>(target->client_index)];
+        for (ItemId evicted : cache.Install(item, mode, version,
+                                            simulator().Now())) {
+          const Version fence = cache.VersionOf(evicted);
+          cache.Drop(evicted);
+          SendLeaseRelease(target->site(), evicted, fence);
+        }
+        cache.Pin(item, txn);
+        OpGranted(*target, version);
+      },
+      net::kControlPayload + net::kDataPayload);
+}
+
+void LockCcEngine::SendLeaseRevokes(int32_t shard, ItemId item,
+                                    const std::vector<SiteId>& targets,
+                                    TxnId collector) {
+  for (SiteId target : targets) {
+    ++lease_revokes_;
+    EmitLeaseEvent(obs::EventKind::kLeaseRevoke,
+                   proto::ProtocolEventKind::kLeaseRevoked, shard, collector,
+                   target, item, /*exclusive=*/false);
+    network().Send(ServerSiteOf(shard), target, "lease-revoke",
+                   [this, shard, target, item, collector] {
+                     ClientOnLeaseRevoke(shard, target, item, collector);
+                   });
+  }
+}
+
+void LockCcEngine::ClientOnLeaseRevoke(int32_t shard, SiteId site,
+                                       ItemId item, TxnId collector) {
+  lease::LeaseCache& cache = lease_caches_[static_cast<size_t>(site - 1)];
+  if (!cache.Has(item)) {
+    // Already evicted voluntarily; the release and this revoke crossed in
+    // flight. Reply anyway so the server clears its revoke-outstanding
+    // mark (Release at the server is idempotent).
+    SendLeaseRelease(site, item, /*fence=*/0);
+    return;
+  }
+  if (cache.MarkRevoked(item)) {
+    // Unpinned: release immediately, fenced by the newest version this
+    // site committed to the item.
+    const Version fence = cache.VersionOf(item);
+    cache.Drop(item);
+    SendLeaseRelease(site, item, fence);
+    return;
+  }
+  // Pinned: the release is deferred until the pinning transaction drains
+  // (FlushLeasePins). The pin is a wait edge that did not exist when the
+  // waiters blocked (the grant that set it may have still been in flight),
+  // so re-post *every* current waiter with fresh blockers — not just the
+  // collector stamped into the revoke, which may have aborted and been
+  // replaced at the head of the queue since the revoke was sent.
+  (void)collector;
+  RefreshLeaseWaits(shard, item);
+}
+
+void LockCcEngine::SendLeaseRelease(SiteId site, ItemId item, Version fence) {
+  const int32_t shard = ShardOf(item);
+  network().Send(site, ServerSiteOf(shard), "lease-release",
+                 [this, shard, site, item, fence] {
+                   ServerOnLeaseRelease(shard, site, item, fence);
+                 });
+}
+
+void LockCcEngine::ServerOnLeaseRelease(int32_t shard, SiteId site,
+                                        ItemId item, Version fence) {
+  // Version fence (the §14 ordering argument): a write-lease holder's
+  // release must not take effect before its last committed install reached
+  // this server — link jitter can reorder the two messages, and granting
+  // the next holder off the pre-install store copy would hand out a stale
+  // version. Park the release until the install lands.
+  if (store().VersionOf(item) < fence) {
+    fenced_releases_[item].push_back(FencedRelease{site, fence});
+    return;
+  }
+  ApplyLeaseRelease(shard, site, item);
+}
+
+void LockCcEngine::ApplyLeaseRelease(int32_t shard, SiteId site, ItemId item) {
+  if (!lease_table_.Release(site, item)) return;  // crossed with an earlier one
+  ++lease_releases_;
+  EmitLeaseEvent(obs::EventKind::kLeaseRelease,
+                 proto::ProtocolEventKind::kLeaseReleased, shard, kInvalidTxn,
+                 site, item, /*exclusive=*/false);
+  PromoteLeases(shard, item);
+}
+
+void LockCcEngine::PromoteLeases(int32_t shard, ItemId item) {
+  lease::PromoteOutcome out = lease_table_.Promote(item, simulator().Now());
+  for (const lease::LeaseWaiter& waiter : out.granted) {
+    policy_->OnWaiterGranted(waiter.txn);
+    EmitLeaseEvent(obs::EventKind::kLeaseGrant,
+                   proto::ProtocolEventKind::kLeaseGranted, shard, waiter.txn,
+                   waiter.site, item,
+                   waiter.mode == LockMode::kExclusive);
+    SendLeaseGrant(shard, waiter.txn, item, waiter.mode,
+                   simulator().Now() - waiter.enqueued);
+  }
+  SendLeaseRevokes(shard, item, out.revoke_sites, out.collector);
+  RefreshLeaseWaits(shard, item);
+}
+
+void LockCcEngine::ServerInstalledItem(int32_t shard, ItemId item) {
+  auto it = fenced_releases_.find(item);
+  if (it == fenced_releases_.end()) return;
+  std::vector<FencedRelease> parked = std::move(it->second);
+  fenced_releases_.erase(it);
+  std::vector<FencedRelease> still_parked;
+  for (const FencedRelease& release : parked) {
+    if (store().VersionOf(item) < release.fence) {
+      still_parked.push_back(release);
+    } else {
+      ApplyLeaseRelease(shard, release.site, item);
+    }
+  }
+  if (!still_parked.empty()) {
+    fenced_releases_[item] = std::move(still_parked);
+  }
+}
+
+std::vector<TxnId> LockCcEngine::LeaseBlockers(TxnId txn, SiteId site,
+                                               ItemId item,
+                                               LockMode mode) const {
+  // Earlier waiters on the item's queue, plus whoever is *pinning* the
+  // lease at each site that must leave before any grant can happen: the
+  // mode-conflicting holders, and every site with a revoke outstanding —
+  // the coherence rule blocks all grants until those release, so even a
+  // mode-compatible waiter waits on their pinners. An idle holder blocks
+  // no transaction — its lease releases as soon as the revoke lands.
+  std::vector<TxnId> blockers = lease_table_.QueuedAhead(txn, item);
+  std::vector<SiteId> gating =
+      lease_table_.ConflictingHolders(site, item, mode);
+  for (SiteId revoked : lease_table_.RevokedSites(item)) {
+    if (revoked != site) gating.push_back(revoked);
+  }
+  std::sort(gating.begin(), gating.end());
+  gating.erase(std::unique(gating.begin(), gating.end()), gating.end());
+  for (SiteId holder : gating) {
+    const TxnId pin =
+        lease_caches_[static_cast<size_t>(holder - 1)].PinOwner(item);
+    if (pin != kInvalidTxn && pin != txn && server_aborted_.count(pin) == 0) {
+      blockers.push_back(pin);
+    }
+  }
+  return blockers;
+}
+
+void LockCcEngine::RefreshLeaseWaits(int32_t shard, ItemId item) {
+  // Wait edges are posted to the policy when a request blocks, but the
+  // blocker sets go stale as the item's lease state evolves: a queue head
+  // aborts, a waiter is granted and its site becomes the holder the rest
+  // now wait on. Re-post every still-queued waiter with fresh blockers so
+  // cycle detection (and wound/die ordering) always sees the live graph;
+  // duplicated edges are harmless.
+  for (const lease::LeaseWaiter& waiter : lease_table_.Waiters(item)) {
+    // A policy abort during this loop may doom a later waiter (its queue
+    // entry is removed inside AbortTxn); skip anything no longer live.
+    if (server_aborted_.count(waiter.txn) > 0) continue;
+    if (FindRun(waiter.txn) == nullptr) continue;
+    current_shard_ = shard;
+    policy_->OnBlocked(waiter.txn, item,
+                       LeaseBlockers(waiter.txn, waiter.site, item,
+                                     waiter.mode),
+                       *this);
+  }
+}
+
+void LockCcEngine::FlushLeasePins(TxnRun& run) {
+  lease::LeaseCache& cache =
+      lease_caches_[static_cast<size_t>(run.client_index)];
+  for (ItemId item : cache.UnpinAll(run.id)) {
+    const Version fence = cache.VersionOf(item);
+    cache.Drop(item);
+    SendLeaseRelease(run.site(), item, fence);
+  }
+}
+
+void LockCcEngine::EmitLeaseEvent(obs::EventKind kind,
+                                  proto::ProtocolEventKind pkind,
+                                  int32_t shard, TxnId txn, SiteId site,
+                                  ItemId item, bool exclusive) {
+  if (tracer().enabled()) {
+    obs::TraceEvent event;
+    event.kind = kind;
+    event.txn = txn;
+    event.site = site;
+    event.item = item;
+    event.shard = shard;
+    event.mode = exclusive ? 1 : 0;
+    event.flag = exclusive;
+    tracer().Emit(std::move(event));
+  }
+  proto::ProtocolEvent pe;
+  pe.kind = pkind;
+  pe.txn = txn;
+  pe.item = item;
+  pe.server = shard;
+  pe.site = site;
+  pe.flag = exclusive;
+  RecordEvent(pe);
 }
 
 }  // namespace gtpl::cc

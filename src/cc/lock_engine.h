@@ -8,6 +8,8 @@
 
 #include "cc/policy.h"
 #include "db/lock_table.h"
+#include "lease/lease_cache.h"
+#include "lease/lease_table.h"
 #include "protocols/sharded.h"
 
 namespace gtpl::cc {
@@ -33,6 +35,16 @@ struct LockEngineTraits {
 /// equivalence suite and the legacy golden tables pin this) — so every
 /// policy inherits sharding, the link model, span accounting, and the
 /// invariant layer for free.
+///
+/// With SimConfig::lease.mode == kSticky (DESIGN.md §14) the per-txn lock
+/// tables are replaced by a site-granular LeaseTable: a grant becomes a
+/// lease that outlives the transaction, repeat acquisitions at the holder
+/// site are served from the client's LeaseCache with zero flights
+/// (lease_hits), and conflicting requests enqueue behind callback
+/// revocation. Transaction-level mutual exclusion within a site is the
+/// MPL-1 pin; across sites it is the lease itself, so strict 2PL per
+/// transaction is preserved. --lease=none leaves every message of the
+/// legacy engine untouched (the lease equivalence battery pins this).
 class LockCcEngine : public proto::ShardedEngineBase, public PolicyHost {
  public:
   LockCcEngine(const proto::SimConfig& config,
@@ -44,6 +56,7 @@ class LockCcEngine : public proto::ShardedEngineBase, public PolicyHost {
   // PolicyHost:
   void AbortTxn(TxnId victim) override;
   ItemId MaxHeldItem(TxnId txn) const override;
+  bool Woundable(TxnId txn) override;
   const proto::SimConfig& engine_config() const override { return config(); }
 
  protected:
@@ -60,6 +73,14 @@ class LockCcEngine : public proto::ShardedEngineBase, public PolicyHost {
     Version version;
   };
 
+  /// A lease release waiting for the holder's last committed install to
+  /// reach the server (the version fence; see DESIGN.md §14 ordering
+  /// argument) before it takes effect.
+  struct FencedRelease {
+    SiteId site;
+    Version fence;
+  };
+
   void ServerOnRequest(int32_t shard, TxnId txn, SiteId client_site,
                        ItemId item, LockMode mode);
   void ServerOnRelease(int32_t shard, TxnId txn, std::vector<Update> updates);
@@ -67,6 +88,57 @@ class LockCcEngine : public proto::ShardedEngineBase, public PolicyHost {
   /// Install + release on `shard` ahead of the client's release message:
   /// at prepare time (release_at_prepare) or at decision arrival (kCoord).
   void ReleaseShardEarly(int32_t shard, TxnId txn);
+
+  // --- sticky-lease machinery (inert under --lease=none) ---------------
+  /// Commit under leases: ship writes to their shards (the lease carries no
+  /// data; the server copy stays authoritative), then flush deferred
+  /// revoke releases.
+  void DoCommitSticky(TxnRun& run);
+  /// Server admission for a request that missed the client's lease cache.
+  void LeaseServerOnRequest(int32_t shard, TxnId txn, SiteId client_site,
+                            ItemId item, LockMode mode);
+  /// Ships "grant+data" and installs the lease into the client's cache on
+  /// arrival. `revoke_wait` is how long the request sat queued behind
+  /// revocations (0 for immediate grants); it rides TxnRun and lands in
+  /// the lease_revoke_wait sub-span.
+  void SendLeaseGrant(int32_t shard, TxnId txn, ItemId item, LockMode mode,
+                      SimTime revoke_wait);
+  /// Sends revoke callbacks to `targets` on behalf of queue-head txn
+  /// `collector`.
+  void SendLeaseRevokes(int32_t shard, ItemId item,
+                        const std::vector<SiteId>& targets, TxnId collector);
+  /// Revoke callback reached holder `site`: release now if unpinned,
+  /// else defer to transaction end and post the collector->pinner edge.
+  void ClientOnLeaseRevoke(int32_t shard, SiteId site, ItemId item,
+                           TxnId collector);
+  /// Client-side voluntary or revoke-driven release; `fence` is the
+  /// latest version this site committed to the item (0 if unknown).
+  void SendLeaseRelease(SiteId site, ItemId item, Version fence);
+  void ServerOnLeaseRelease(int32_t shard, SiteId site, ItemId item,
+                            Version fence);
+  /// Applies a release whose fence is satisfied and promotes the queue.
+  void ApplyLeaseRelease(int32_t shard, SiteId site, ItemId item);
+  /// Grants the item's queue prefix and sends follow-up revokes.
+  void PromoteLeases(int32_t shard, ItemId item);
+  /// An install for `item` landed on `shard`: flush fenced releases that
+  /// were waiting for it.
+  void ServerInstalledItem(int32_t shard, ItemId item);
+  /// Blockers of a lease-blocked request: queued-ahead transactions plus
+  /// the transactions pinning the item at conflicting holder sites and at
+  /// every site with a revoke outstanding (the coherence rule blocks all
+  /// grants until those release).
+  std::vector<TxnId> LeaseBlockers(TxnId txn, SiteId site, ItemId item,
+                                   LockMode mode) const;
+  /// Re-posts fresh blocker sets for `item`'s still-queued waiters after
+  /// its lease state changed (grant, release, or an aborted waiter left
+  /// the queue) — block-time wait edges go stale otherwise and deadlock
+  /// cycles through the new state are never seen.
+  void RefreshLeaseWaits(int32_t shard, ItemId item);
+  /// Unpins the finished txn's leases and flushes deferred releases.
+  void FlushLeasePins(TxnRun& run);
+  void EmitLeaseEvent(obs::EventKind kind, proto::ProtocolEventKind pkind,
+                      int32_t shard, TxnId txn, SiteId site, ItemId item,
+                      bool exclusive);
 
   std::vector<std::unique_ptr<db::LockTable>> lock_tables_;
   std::unique_ptr<ConflictPolicy> policy_;
@@ -81,6 +153,15 @@ class LockCcEngine : public proto::ShardedEngineBase, public PolicyHost {
   // decisions are attributed to its server site.
   int32_t current_shard_ = 0;
   int64_t policy_aborts_ = 0;
+
+  // Sticky-lease state (empty/unused under --lease=none).
+  bool sticky_ = false;
+  lease::LeaseTable lease_table_;
+  std::vector<lease::LeaseCache> lease_caches_;  // one per client
+  std::unordered_map<ItemId, std::vector<FencedRelease>> fenced_releases_;
+  int64_t lease_hits_ = 0;
+  int64_t lease_revokes_ = 0;
+  int64_t lease_releases_ = 0;
 };
 
 }  // namespace gtpl::cc

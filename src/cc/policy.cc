@@ -68,6 +68,25 @@ class WaitDiePolicy : public ConflictPolicy {
   }
 };
 
+class WoundWaitPolicy : public ConflictPolicy {
+ public:
+  void OnBlocked(TxnId txn, ItemId item, const std::vector<TxnId>& blockers,
+                 PolicyHost& host) override {
+    (void)item;
+    // Smaller id == older. The older requester wounds every younger
+    // blocker still woundable (the blocker set may repeat a txn across
+    // holder/waiter roles, and a wound may already have landed — Woundable
+    // goes false the moment a victim is doomed, so each txn is wounded at
+    // most once); younger or unwoundable blockers are simply waited on.
+    // Every realized wait edge points young -> old: deadlock-free.
+    for (TxnId blocker : blockers) {
+      if (blocker > txn && host.Woundable(blocker)) {
+        host.AbortTxn(blocker);
+      }
+    }
+  }
+};
+
 class OrderedPolicy : public ConflictPolicy {
  public:
   void OnBlocked(TxnId txn, ItemId item, const std::vector<TxnId>& blockers,
@@ -92,6 +111,10 @@ std::unique_ptr<ConflictPolicy> MakeNoWaitPolicy() {
 
 std::unique_ptr<ConflictPolicy> MakeWaitDiePolicy() {
   return std::make_unique<WaitDiePolicy>();
+}
+
+std::unique_ptr<ConflictPolicy> MakeWoundWaitPolicy() {
+  return std::make_unique<WoundWaitPolicy>();
 }
 
 std::unique_ptr<ConflictPolicy> MakeOrderedPolicy() {

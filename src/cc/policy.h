@@ -29,6 +29,12 @@ class PolicyHost {
   /// shard, or kInvalidItem if it holds none (ordered policies).
   virtual ItemId MaxHeldItem(TxnId txn) const = 0;
 
+  /// Whether `txn` is a legal abort victim right now: active, not already
+  /// doomed, and not past its commit point (a committing transaction's
+  /// releases are in flight — wounding it would break the commit promise;
+  /// wound-wait lets such a blocker finish and waits instead).
+  virtual bool Woundable(TxnId txn) = 0;
+
   /// The run configuration (victim-selection knobs etc.).
   virtual const proto::SimConfig& engine_config() const = 0;
 };
@@ -80,6 +86,14 @@ std::unique_ptr<ConflictPolicy> MakeNoWaitPolicy();
 /// priority — the classic wound-wait starvation guarantee does not carry
 /// over (DESIGN.md §12).
 std::unique_ptr<ConflictPolicy> MakeWaitDiePolicy();
+
+/// Wound-wait 2PL: an older requester (smaller id) wounds every younger
+/// blocker — aborts it on the spot — and a younger requester waits for its
+/// older blockers. Wait edges only ever point young -> old, so no cycle can
+/// form. Dual of wait-die: restarts keep a transaction's conflicts aborting
+/// in its favor once it is the oldest, but blockers already past their
+/// commit point are unwoundable and are waited on instead (DESIGN.md §12).
+std::unique_ptr<ConflictPolicy> MakeWoundWaitPolicy();
 
 /// Ordered 2PL (Brook-2PL spirit): a requester may block only on an item
 /// larger than every item it already holds; blocking out of item order

@@ -19,6 +19,12 @@ using proto::Protocol;
 using proto::SimConfig;
 
 std::unique_ptr<EngineBase> MakeS2pl(const SimConfig& config) {
+  if (config.lease.mode != lease::LeaseMode::kNone) {
+    // Sticky leases live in the generic lock engine; with the detect
+    // policy it is the s-2PL engine bit for bit (the policy-equivalence
+    // suite pins this), so --lease only ever adds the lease layer.
+    return std::make_unique<LockCcEngine>(config, MakeDetectPolicy());
+  }
   return std::make_unique<proto::S2plEngine>(config);
 }
 
@@ -41,6 +47,10 @@ std::unique_ptr<EngineBase> MakeWaitDie(const SimConfig& config) {
   return std::make_unique<LockCcEngine>(config, MakeWaitDiePolicy());
 }
 
+std::unique_ptr<EngineBase> MakeWoundWait(const SimConfig& config) {
+  return std::make_unique<LockCcEngine>(config, MakeWoundWaitPolicy());
+}
+
 std::unique_ptr<EngineBase> MakeOcc(const SimConfig& config) {
   return std::make_unique<OccEngine>(config);
 }
@@ -60,15 +70,17 @@ const std::vector<EngineInfo>& Engines() {
       {"g2pl", "group 2PL with forward lists (paper contribution)",
        Protocol::kG2pl, /*sharded=*/true, MakeG2pl},
       {"c2pl", "caching 2PL: locks+data cached across txns",
-       Protocol::kC2pl, /*sharded=*/false, MakeCaching},
-      {"cbl", "callback locking", Protocol::kCbl, /*sharded=*/false,
+       Protocol::kC2pl, /*sharded=*/true, MakeCaching},
+      {"cbl", "callback locking", Protocol::kCbl, /*sharded=*/true,
        MakeCaching},
       {"o2pl", "optimistic 2PL (deferred write intentions)",
-       Protocol::kO2pl, /*sharded=*/false, MakeCaching},
+       Protocol::kO2pl, /*sharded=*/true, MakeCaching},
       {"nowait", "no-wait 2PL: blocked requests abort the requester",
        Protocol::kNoWait, /*sharded=*/true, MakeNoWait},
       {"waitdie", "wait-die 2PL: wait for younger only, die on older",
        Protocol::kWaitDie, /*sharded=*/true, MakeWaitDie},
+      {"woundwait", "wound-wait 2PL: wound younger blockers, wait on older",
+       Protocol::kWoundWait, /*sharded=*/true, MakeWoundWait},
       {"occ", "optimistic CC, backward validation at commit",
        Protocol::kOcc, /*sharded=*/true, MakeOcc},
       {"ordered", "ordered 2PL: in-order acquisition, release at prepare",

@@ -1,6 +1,7 @@
 #include "harness/cli.h"
 
 #include <charconv>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -88,6 +89,25 @@ Status ParseCli(int argc, char** argv, CliOptions* options) {
         return status;
       }
       options->commit = v8;
+    } else if (const char* v9 = value_of("--lease=")) {
+      const Status status =
+          lease::ParseLeaseModeName(v9, &options->lease_options.mode);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return status;
+      }
+      options->lease = v9;
+    } else if (const char* v10 = value_of("--lease-ttl=")) {
+      if (!ParseInt64Value(v10, &value) || value < 0) {
+        return Status::InvalidArgument("bad --lease-ttl");
+      }
+      options->lease_options.ttl = value;
+    } else if (const char* v11 = value_of("--lease-max-held=")) {
+      if (!ParseInt64Value(v11, &value) || value < 0 ||
+          value > INT32_MAX) {
+        return Status::InvalidArgument("bad --lease-max-held");
+      }
+      options->lease_options.max_held = static_cast<int32_t>(value);
     } else if (arg == "--full") {
       options->scale.measured_txns = 50000;
       options->scale.warmup_txns = 5000;
@@ -103,11 +123,13 @@ Status ParseCli(int argc, char** argv, CliOptions* options) {
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: %s [--txns=N] [--warmup=N] [--runs=N] [--seed=N] "
-                   "[--jobs=N] [--cc=NAME] [--commit=NAME] [--full] "
+                   "[--jobs=N] [--cc=NAME] [--commit=NAME] [--lease=NAME] "
+                   "[--lease-ttl=N] [--lease-max-held=N] [--full] "
                    "[--quick] [--smoke] [--csv=PATH]\n  engines: %s\n"
-                   "  commit paths: %s\n",
+                   "  commit paths: %s\n  lease modes: %s\n",
                    argv[0], cc::EngineNames().c_str(),
-                   proto::CommitPathNames().c_str());
+                   proto::CommitPathNames().c_str(),
+                   lease::LeaseModeNames().c_str());
       return Status::InvalidArgument("help requested");
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());

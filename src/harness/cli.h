@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "harness/experiment.h"
+#include "lease/lease.h"
 #include "protocols/config.h"
 
 namespace gtpl::harness {
@@ -21,6 +22,10 @@ namespace gtpl::harness {
 ///                engine (strict: unknown names fail listing the registry)
 ///   --commit=NAME  commit path for cross-server 2PC (classic, early,
 ///                fastpath, coord; strict like --cc)
+///   --lease=NAME   lease mode for the lock engines (none, sticky; strict
+///                like --cc)
+///   --lease-ttl=N  lease lifetime in sim time units (0 = infinite)
+///   --lease-max-held=N  max unpinned leases a client retains (0 = unlimited)
 ///   --full       paper scale: 50000 measured txns, 5 replications
 ///   --quick      smoke scale: 800 measured txns, 2 replications
 ///   --smoke      CI scale: 200 measured txns, 1 replication
@@ -38,6 +43,12 @@ struct CliOptions {
   /// (benches then sweep their default variant set or run kClassic).
   std::string commit;
   proto::CommitPath commit_path = proto::CommitPath::kClassic;
+  /// Lease-mode name from --lease, empty when the flag was not given
+  /// (benches then sweep their default lease set or run kNone). The ttl
+  /// and max_held knobs in `lease_options` apply whenever the bench honors
+  /// leases, independent of whether --lease itself was passed.
+  std::string lease;
+  lease::LeaseOptions lease_options;
 };
 
 /// Strict numeric parsing for CLI flag values (std::from_chars; the whole

@@ -56,7 +56,12 @@ PointResult AggregateReplications(std::vector<ReplicaRun>& runs) {
   double resp_p50 = 0.0;
   double resp_p95 = 0.0;
   double resp_p99 = 0.0;
+  double opw_p50 = 0.0;
   double opw_p99 = 0.0;
+  double lease_hits = 0.0;
+  double lease_revokes = 0.0;
+  double lease_releases = 0.0;
+  double lease_revoke_wait = 0.0;
   int64_t cross_runs = 0;
   double commit_prepare = 0.0;
   double commit_vote = 0.0;
@@ -93,6 +98,12 @@ PointResult AggregateReplications(std::vector<ReplicaRun>& runs) {
       fallback_pct += 100.0 *
                       static_cast<double>(result.commit_path_fallbacks) /
                       static_cast<double>(result.commits);
+      lease_hits += static_cast<double>(result.lease_hits) /
+                    static_cast<double>(result.commits);
+      lease_revokes += static_cast<double>(result.lease_revokes) /
+                       static_cast<double>(result.commits);
+      lease_releases += static_cast<double>(result.lease_releases) /
+                        static_cast<double>(result.commits);
     }
     if (result.commit_participants.count() > 0) {
       participants += result.commit_participants.mean();
@@ -121,7 +132,9 @@ PointResult AggregateReplications(std::vector<ReplicaRun>& runs) {
     resp_p50 += result.response_hist.Percentile(0.50);
     resp_p95 += result.response_hist.Percentile(0.95);
     resp_p99 += result.response_hist.Percentile(0.99);
+    opw_p50 += result.op_wait_hist.Percentile(0.50);
     opw_p99 += result.op_wait_hist.Percentile(0.99);
+    lease_revoke_wait += result.span_lease_revoke.mean();
     if (!result.obs_trace.empty()) {
       out.traces.push_back(std::move(result.obs_trace));
     }
@@ -152,7 +165,12 @@ PointResult AggregateReplications(std::vector<ReplicaRun>& runs) {
   out.response_p50 = resp_p50 / runs_count;
   out.response_p95 = resp_p95 / runs_count;
   out.response_p99 = resp_p99 / runs_count;
+  out.op_wait_p50 = opw_p50 / runs_count;
   out.op_wait_p99 = opw_p99 / runs_count;
+  out.lease_hits_per_commit = lease_hits / runs_count;
+  out.lease_revokes_per_commit = lease_revokes / runs_count;
+  out.lease_releases_per_commit = lease_releases / runs_count;
+  out.mean_lease_revoke_wait = lease_revoke_wait / runs_count;
   out.mean_commit_prepare = commit_prepare / runs_count;
   out.mean_commit_vote = commit_vote / runs_count;
   out.fastpath_pct = fastpath_pct / runs_count;

@@ -66,7 +66,15 @@ struct PointResult {
   double response_p50 = 0.0;
   double response_p95 = 0.0;
   double response_p99 = 0.0;
+  double op_wait_p50 = 0.0;
   double op_wait_p99 = 0.0;
+  /// Sticky-lease telemetry (all 0 under --lease=none; DESIGN.md §14):
+  /// mean cache-local lease hits / revoke callbacks / lease releases per
+  /// commit, and the mean revoke-wait sub-span of the lock-wait phase.
+  double lease_hits_per_commit = 0.0;
+  double lease_revokes_per_commit = 0.0;
+  double lease_releases_per_commit = 0.0;
+  double mean_lease_revoke_wait = 0.0;
   /// Per-replication observability traces, in replication order (empty
   /// unless the config set obs_trace).
   std::vector<std::vector<obs::TraceEvent>> traces;

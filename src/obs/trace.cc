@@ -21,6 +21,9 @@ const char* ToString(EventKind kind) {
     case EventKind::kDecide: return "decide";
     case EventKind::kMsgSend: return "msg_send";
     case EventKind::kMsgDeliver: return "msg_deliver";
+    case EventKind::kLeaseGrant: return "lease_grant";
+    case EventKind::kLeaseRevoke: return "lease_revoke";
+    case EventKind::kLeaseRelease: return "lease_release";
   }
   return "unknown";
 }
@@ -35,7 +38,8 @@ bool ParseEventKind(const std::string& name, EventKind* out) {
       EventKind::kWriterRelease,  EventKind::kGraphCheck,
       EventKind::kPrepare,        EventKind::kVote,
       EventKind::kDecide,         EventKind::kMsgSend,
-      EventKind::kMsgDeliver,
+      EventKind::kMsgDeliver,     EventKind::kLeaseGrant,
+      EventKind::kLeaseRevoke,    EventKind::kLeaseRelease,
   };
   for (EventKind kind : kAll) {
     if (name == ToString(kind)) {

@@ -32,6 +32,9 @@ enum class EventKind : uint8_t {
   kDecide = 14,         // 2PC commit decision reached participant `shard`
   kMsgSend = 15,        // message entered the transport at `site`
   kMsgDeliver = 16,     // message delivered at `site`; d0..d3 = queueing
+  kLeaseGrant = 17,     // server granted a site lease; site = holder
+  kLeaseRevoke = 18,    // server sent a revoke callback; site = target
+  kLeaseRelease = 19,   // server processed a lease release; site = holder
 };
 
 /// Stable lowercase name of `kind` (the JSONL wire name).

@@ -196,6 +196,12 @@ void EngineBase::OpGranted(TxnRun& run, Version version_read) {
   run.span.lock_wait += op_lock_wait;
   run.span.propagation += run.req_prop + grant_prop;
   run.span.queueing += run.req_queue + grant_queue;
+  // Revoke-wait attribution (sticky leases): the server stamped how long
+  // this op sat queued behind a lease revocation; clamp it into the
+  // lock-wait sub-span so lease_revoke_wait <= lock_wait always holds.
+  run.span.lease_revoke_wait +=
+      std::min<SimTime>(run.pending_revoke_wait, op_lock_wait);
+  run.pending_revoke_wait = 0;
   run.req_prop = 0;
   run.req_queue = 0;
   if (tracer_.enabled()) {
@@ -238,6 +244,7 @@ void EngineBase::FinishOp(TxnRun& run) {
   }
   if (run.LastOp()) {
     run.commit_start = sim_.Now();
+    run.committing = true;
     StartCommit(run);
     return;
   }
@@ -287,6 +294,8 @@ void EngineBase::FinalizeCommit(TxnRun& run) {
     result_.span_commit_prepare.Add(
         static_cast<double>(run.span.commit_prepare));
     result_.span_commit_vote.Add(static_cast<double>(run.span.commit_vote));
+    result_.span_lease_revoke.Add(
+        static_cast<double>(run.span.lease_revoke_wait));
     if (run.commit_flights >= 0) {
       result_.commit_flights.Add(static_cast<double>(run.commit_flights));
       result_.xcommit_span_hist.Add(static_cast<double>(run.span.commit));

@@ -22,6 +22,8 @@ const char* ToString(Protocol protocol) {
       return "OCC";
     case Protocol::kOrdered:
       return "or-2PL";
+    case Protocol::kWoundWait:
+      return "ww-2PL";
   }
   return "unknown";
 }
@@ -46,11 +48,26 @@ Status SimConfig::Validate() const {
   if (num_servers > workload.num_items) {
     return Status::InvalidArgument("num_servers must be <= num_items");
   }
-  if (num_servers > 1 &&
+  if (num_servers > 1 && commit_path != CommitPath::kClassic &&
       (protocol == Protocol::kC2pl || protocol == Protocol::kCbl ||
        protocol == Protocol::kO2pl)) {
     return Status::InvalidArgument(
-        "sharding does not support the caching protocols");
+        "the caching protocols support only the classic commit path");
+  }
+  if (lease.mode == lease::LeaseMode::kSticky &&
+      protocol != Protocol::kS2pl && protocol != Protocol::kNoWait &&
+      protocol != Protocol::kWaitDie && protocol != Protocol::kOrdered &&
+      protocol != Protocol::kWoundWait) {
+    return Status::InvalidArgument(
+        "lease=sticky requires a lock-table engine "
+        "(s2pl, nowait, waitdie, woundwait, ordered)");
+  }
+  if (lease.ttl < 0) {
+    return Status::InvalidArgument("lease ttl must be >= 0 (0 = infinite)");
+  }
+  if (lease.max_held < 0) {
+    return Status::InvalidArgument(
+        "lease max_held must be >= 0 (0 = unlimited)");
   }
   if (latency < 0) return Status::InvalidArgument("latency must be >= 0");
   if (server_latency < -1) {
@@ -82,6 +99,9 @@ Status SimConfig::Validate() const {
   }
   if (workload.read_prob < 0.0 || workload.read_prob > 1.0) {
     return Status::InvalidArgument("read_prob must be in [0,1]");
+  }
+  if (workload.repeat_prob < 0.0 || workload.repeat_prob > 1.0) {
+    return Status::InvalidArgument("repeat_prob must be in [0,1]");
   }
   if (workload.min_think < 0 || workload.min_think > workload.max_think) {
     return Status::InvalidArgument("think range invalid");

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "core/window_manager.h"
+#include "lease/lease.h"
 #include "protocols/commit.h"
 #include "workload/generator.h"
 
@@ -25,6 +26,7 @@ enum class Protocol {
   kWaitDie = 6,  // wait-die 2PL: wait for younger only, die on older
   kOcc = 7,      // optimistic CC, backward validation at commit
   kOrdered = 8,  // ordered 2PL: in-order acquisition, release at prepare
+  kWoundWait = 9,  // wound-wait 2PL: wound younger blockers, wait on older
 };
 
 const char* ToString(Protocol protocol);
@@ -99,6 +101,13 @@ struct SimConfig {
   double link_bandwidth = 0.0;
   bool nic_queue = false;
   double cross_traffic_load = 0.0;
+  /// Lease-based client lock caching (lease/lease.h, DESIGN.md §14).
+  /// kNone (default) is bit-identical to the pre-lease engines; kSticky
+  /// turns every grant from a lock-table engine into a per-item site lease
+  /// that outlives the transaction, with callback revocation. Selected
+  /// with --lease=NAME plus the --lease-ttl / --lease-max-held knobs.
+  lease::LeaseOptions lease;
+
   workload::WorkloadProfile workload;
   core::G2plOptions g2pl;
   S2plOptions s2pl;

@@ -63,8 +63,17 @@ class EngineBase {
     /// span when the grant comes back.
     SimTime req_prop = 0;
     SimTime req_queue = 0;
+    /// Time the current op spent queued behind a lease revocation at the
+    /// server (sticky leases only): stamped by the server when the queued
+    /// request is finally granted, folded into span.lease_revoke_wait
+    /// (clamped to the op's lock wait) when the grant reaches the client.
+    SimTime pending_revoke_wait = 0;
     /// When the commit phase started (last op's think elapsed).
     SimTime commit_start = 0;
+    /// True once the commit phase started. A committing transaction has no
+    /// outstanding request and must never be chosen as an abort victim
+    /// (wound-wait checks this through PolicyHost::Woundable).
+    bool committing = false;
     /// Blocking one-way WAN flights the commit phase paid: -1 until a
     /// cross-server 2PC path sets it (single-shard commits keep -1).
     int32_t commit_flights = -1;

@@ -84,6 +84,15 @@ std::vector<ProtocolEvent> ProtocolEventsFromTrace(
       case obs::EventKind::kDecide:
         kind = ProtocolEventKind::kCommitDecisionArrived;
         break;
+      case obs::EventKind::kLeaseGrant:
+        kind = ProtocolEventKind::kLeaseGranted;
+        break;
+      case obs::EventKind::kLeaseRevoke:
+        kind = ProtocolEventKind::kLeaseRevoked;
+        break;
+      case obs::EventKind::kLeaseRelease:
+        kind = ProtocolEventKind::kLeaseReleased;
+        break;
       default:
         continue;  // lifecycle / lock / message events have no counterpart
     }
@@ -93,6 +102,11 @@ std::vector<ProtocolEvent> ProtocolEventsFromTrace(
     pe.txn = te.txn;
     pe.item = te.item;
     pe.server = te.shard;
+    if (kind == ProtocolEventKind::kLeaseGranted ||
+        kind == ProtocolEventKind::kLeaseRevoked ||
+        kind == ProtocolEventKind::kLeaseReleased) {
+      pe.site = te.site;
+    }
     pe.flag = te.flag;
     pe.entries.reserve(te.entries.size());
     for (const obs::FlEntrySnapshot& entry : te.entries) {
@@ -202,11 +216,96 @@ bool CheckMr1wDiscipline(const std::vector<ProtocolEvent>& events,
   return true;
 }
 
+bool CheckLeaseCoherence(const std::vector<ProtocolEvent>& events,
+                         std::string* explanation) {
+  // Per-item replay of the lease state machine as the *events* describe it.
+  struct ItemState {
+    SiteId writer = -1;
+    std::vector<SiteId> readers;          // unsorted, tiny
+    std::vector<SiteId> revoking;         // sites with an outstanding revoke
+  };
+  auto contains = [](const std::vector<SiteId>& v, SiteId s) {
+    for (SiteId x : v) {
+      if (x == s) return true;
+    }
+    return false;
+  };
+  auto erase = [](std::vector<SiteId>& v, SiteId s) {
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (v[i] == s) {
+        v.erase(v.begin() + static_cast<long>(i));
+        return;
+      }
+    }
+  };
+  std::map<ItemId, ItemState> items;
+  for (const ProtocolEvent& event : events) {
+    switch (event.kind) {
+      case ProtocolEventKind::kLeaseGranted: {
+        ItemState& state = items[event.item];
+        if (!state.revoking.empty()) {
+          Explain(explanation,
+                  "lease granted while a revoke is outstanding at " +
+                      Describe(event));
+          return false;
+        }
+        if (state.writer >= 0 && state.writer != event.site) {
+          Explain(explanation,
+                  "lease granted alongside a foreign write lease at " +
+                      Describe(event));
+          return false;
+        }
+        if (event.flag) {  // exclusive
+          for (SiteId reader : state.readers) {
+            if (reader != event.site) {
+              Explain(explanation,
+                      "write lease granted alongside a foreign read lease "
+                      "at " + Describe(event));
+              return false;
+            }
+          }
+          erase(state.readers, event.site);
+          state.writer = event.site;
+        } else if (state.writer != event.site &&
+                   !contains(state.readers, event.site)) {
+          state.readers.push_back(event.site);
+        }
+        break;
+      }
+      case ProtocolEventKind::kLeaseRevoked: {
+        ItemState& state = items[event.item];
+        if (state.writer != event.site &&
+            !contains(state.readers, event.site)) {
+          Explain(explanation,
+                  "revoke sent to a site holding no lease at " +
+                      Describe(event));
+          return false;
+        }
+        if (!contains(state.revoking, event.site)) {
+          state.revoking.push_back(event.site);
+        }
+        break;
+      }
+      case ProtocolEventKind::kLeaseReleased: {
+        ItemState& state = items[event.item];
+        if (state.writer == event.site) state.writer = -1;
+        erase(state.readers, event.site);
+        erase(state.revoking, event.site);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
 bool CheckProtocolInvariants(const std::vector<ProtocolEvent>& events,
                              std::string* explanation) {
   return CheckAcyclicity(events, explanation) &&
          CheckForwardListOrderConsistency(events, explanation) &&
-         CheckMr1wDiscipline(events, explanation);
+         CheckMr1wDiscipline(events, explanation) &&
+         CheckLeaseCoherence(events, explanation);
 }
 
 }  // namespace gtpl::proto

@@ -37,6 +37,12 @@ enum class ProtocolEventKind : uint8_t {
   kVoteArrived = 6,
   /// Cross-server commit: commit decision reached participant `server`.
   kCommitDecisionArrived = 7,
+  /// Sticky lease granted to `site` on `item`; `flag` = exclusive.
+  kLeaseGranted = 8,
+  /// Revoke callback sent to holder `site` on `item`.
+  kLeaseRevoked = 9,
+  /// Lease release from `site` on `item` processed at the server.
+  kLeaseReleased = 10,
 };
 
 /// One forward-list entry as recorded in a window event.
@@ -61,13 +67,17 @@ struct ProtocolEvent {
   TxnId txn = kInvalidTxn;
   ItemId item = kInvalidItem;
   int32_t server = 0;  // shard index (0 in single-server runs)
-  bool flag = false;   // kGraphCheck: acyclic; kVoteArrived: yes
+  /// Lease events: the client site holding / being revoked. -1 elsewhere.
+  SiteId site = -1;
+  bool flag = false;  // kGraphCheck: acyclic; kVoteArrived: yes;
+                      // kLeaseGranted: exclusive
   std::vector<FlEntryRecord> entries;  // window events only
 
   bool operator==(const ProtocolEvent& other) const {
     return kind == other.kind && time == other.time && txn == other.txn &&
            item == other.item && server == other.server &&
-           flag == other.flag && entries == other.entries;
+           site == other.site && flag == other.flag &&
+           entries == other.entries;
   }
 };
 
@@ -105,6 +115,14 @@ bool CheckForwardListOrderConsistency(
 /// its update before the release messages of *all* readers of the preceding
 /// read group have arrived at it.
 bool CheckMr1wDiscipline(const std::vector<ProtocolEvent>& events,
+                         std::string* explanation = nullptr);
+
+/// Lease coherence (DESIGN.md §14): replays the kLease* events and checks
+/// that an exclusive grant admits no other holder site, a shared grant
+/// admits no other-site write holder, and *no* grant of any mode lands on
+/// an item while a revoke on it is outstanding (sent but not yet followed
+/// by that holder's release).
+bool CheckLeaseCoherence(const std::vector<ProtocolEvent>& events,
                          std::string* explanation = nullptr);
 
 /// All of the above.

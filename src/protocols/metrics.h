@@ -54,6 +54,13 @@ struct TxnSpan {
   SimTime commit_prepare = 0;
   SimTime commit_vote = 0;
 
+  /// Sub-span of `lock_wait`: the part of this transaction's server-side
+  /// waiting spent queued behind lease revocations (sticky leases only;
+  /// DESIGN.md §14). Always 0 <= lease_revoke_wait <= lock_wait, and it
+  /// does not enter Total() — revoke latency is an attribution of the
+  /// lock-wait phase, not a sixth phase.
+  SimTime lease_revoke_wait = 0;
+
   SimTime CommitResidual() const {
     return commit - commit_prepare - commit_vote;
   }
@@ -112,6 +119,11 @@ struct RunResult {
   /// each commit-path variant removes.
   stats::Welford span_commit_prepare;
   stats::Welford span_commit_vote;
+  /// Lease revoke-wait sub-span of lock_wait (TxnSpan::lease_revoke_wait),
+  /// over the same committed transactions; nonzero only under sticky
+  /// leases, attributing exactly how much of the lock-wait phase was spent
+  /// waiting for callback revocations to drain.
+  stats::Welford span_lease_revoke;
 
   /// Full distributions behind the Welford means: committed-transaction
   /// response times and per-operation waits (measured phase). Sized by the
@@ -167,6 +179,16 @@ struct RunResult {
   /// Cross-server commits that fell back to the classic path because the
   /// engine runs its own certification commit (OCC).
   int64_t commit_path_fallbacks = 0;
+
+  // Sticky-lease telemetry (lease/lease.h; all 0 under --lease=none).
+  // Counted over the WHOLE run, not just the measured phase, so they match
+  // the trace event counts exactly (the lease tests assert this). A lease
+  // hit is a lock acquisition served entirely from the client's LeaseCache
+  // (zero network flights); revokes and releases count the callback
+  // messages the server sent / applied.
+  int64_t lease_hits = 0;
+  int64_t lease_revokes = 0;
+  int64_t lease_releases = 0;
 
   // Recovery substrate counters. `wal_retained` is the number of log
   // records still held at end of run; garbage collection (triggered when

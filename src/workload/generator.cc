@@ -22,25 +22,35 @@ WorkloadGenerator::WorkloadGenerator(const WorkloadProfile& profile,
   GTPL_CHECK_LE(profile.min_idle, profile.max_idle);
   GTPL_CHECK_GE(profile.min_think, 0);
   GTPL_CHECK_GE(profile.min_idle, 0);
+  GTPL_CHECK_GE(profile.repeat_prob, 0.0);
+  GTPL_CHECK_LE(profile.repeat_prob, 1.0);
 }
 
 TxnSpec WorkloadGenerator::NextTxn() {
   TxnSpec spec;
-  const auto count = static_cast<int32_t>(rng_.UniformInt(
-      profile_.min_items_per_txn, profile_.max_items_per_txn));
   std::vector<int32_t> items;
-  if (profile_.zipf_theta == 0.0) {
-    items = rng::SampleDistinct(rng_, profile_.num_items, count);
+  // The guard keeps repeat_prob == 0.0 free of extra stream draws, so every
+  // legacy run replays bit for bit.
+  if (profile_.repeat_prob > 0.0 && !last_items_.empty() &&
+      rng_.Bernoulli(profile_.repeat_prob)) {
+    items = last_items_;  // re-access the previous working set
   } else {
-    // Distinct Zipf draws: resample duplicates. The pool is small and the
-    // per-transaction count <= 5, so rejection terminates fast.
-    std::unordered_set<int32_t> seen;
-    while (static_cast<int32_t>(items.size()) < count) {
-      const int32_t item = zipf_.Sample(rng_);
-      if (seen.insert(item).second) items.push_back(item);
+    const auto count = static_cast<int32_t>(rng_.UniformInt(
+        profile_.min_items_per_txn, profile_.max_items_per_txn));
+    if (profile_.zipf_theta == 0.0) {
+      items = rng::SampleDistinct(rng_, profile_.num_items, count);
+    } else {
+      // Distinct Zipf draws: resample duplicates. The pool is small and the
+      // per-transaction count <= 5, so rejection terminates fast.
+      std::unordered_set<int32_t> seen;
+      while (static_cast<int32_t>(items.size()) < count) {
+        const int32_t item = zipf_.Sample(rng_);
+        if (seen.insert(item).second) items.push_back(item);
+      }
     }
   }
   if (profile_.sorted_access) std::sort(items.begin(), items.end());
+  last_items_ = items;
   spec.ops.reserve(items.size());
   for (int32_t item : items) {
     const LockMode mode = rng_.Bernoulli(profile_.read_prob)

@@ -2,6 +2,7 @@
 #define GTPL_WORKLOAD_GENERATOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "rng/distributions.h"
 #include "rng/rng.h"
@@ -30,6 +31,11 @@ struct WorkloadProfile {
   /// Access items in ascending id order (canonical deadlock-free ordering;
   /// extension used by tests and ablations). The paper's order is random.
   bool sorted_access = false;
+  /// Probability the next transaction re-accesses the previous transaction's
+  /// item set (modes are re-drawn) instead of sampling fresh items — the
+  /// repeat-access knob behind the lease/caching ablations (DESIGN.md §14).
+  /// 0 draws nothing extra from the stream, so legacy runs are bit-identical.
+  double repeat_prob = 0.0;
 };
 
 /// Draws transaction specs and timing samples for one client, from a
@@ -51,6 +57,7 @@ class WorkloadGenerator {
   WorkloadProfile profile_;
   rng::Rng rng_;
   rng::Zipf zipf_;
+  std::vector<int32_t> last_items_;  // previous txn's items (repeat_prob)
 };
 
 }  // namespace gtpl::workload

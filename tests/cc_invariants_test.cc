@@ -79,7 +79,8 @@ TEST(CcInvariantsTest, EveryEngineStaysSerializableAcrossShardCounts) {
 // commit rounds appear in the protocol-event stream (prepare before
 // decision, a full round of yes votes per decision).
 TEST(CcInvariantsTest, NewEnginesRunTwoPhaseCommitRounds) {
-  for (const char* name : {"nowait", "waitdie", "occ", "ordered"}) {
+  for (const char* name : {"nowait", "waitdie", "woundwait", "occ", "ordered",
+                           "c2pl", "cbl", "o2pl"}) {
     const EngineInfo* info = FindEngine(name);
     ASSERT_NE(info, nullptr) << name;
     proto::SimConfig config = RandomConfig(info->protocol, 31);
@@ -145,7 +146,7 @@ TEST(CcInvariantsTest, OrderedPolicyIsAbortFreeUnderSortedAccess) {
 // contended workload (unsorted access) both abort transactions, while
 // detection-based s-2PL resolves almost everything by waiting.
 TEST(CcInvariantsTest, RestartPoliciesAbortUnderContention) {
-  for (const char* name : {"nowait", "waitdie", "occ"}) {
+  for (const char* name : {"nowait", "waitdie", "woundwait", "occ"}) {
     const EngineInfo* info = FindEngine(name);
     ASSERT_NE(info, nullptr) << name;
     proto::SimConfig config = ContendedConfig(info->protocol);
@@ -158,7 +159,8 @@ TEST(CcInvariantsTest, RestartPoliciesAbortUnderContention) {
 // Determinism across the zoo: the new engines inherit the simulator's
 // bit-identical replay guarantee — same seed, same metrics, byte for byte.
 TEST(CcInvariantsTest, NewEnginesAreDeterministic) {
-  for (const char* name : {"nowait", "waitdie", "occ", "ordered"}) {
+  for (const char* name : {"nowait", "waitdie", "woundwait", "occ", "ordered",
+                           "c2pl", "cbl", "o2pl"}) {
     const EngineInfo* info = FindEngine(name);
     ASSERT_NE(info, nullptr) << name;
     proto::SimConfig config = RandomConfig(info->protocol, 5);

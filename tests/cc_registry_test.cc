@@ -38,8 +38,8 @@ TEST(CcRegistryTest, EveryProtocolValueHasExactlyOneEngine) {
       proto::Protocol::kS2pl,    proto::Protocol::kG2pl,
       proto::Protocol::kC2pl,    proto::Protocol::kCbl,
       proto::Protocol::kO2pl,    proto::Protocol::kNoWait,
-      proto::Protocol::kWaitDie, proto::Protocol::kOcc,
-      proto::Protocol::kOrdered};
+      proto::Protocol::kWaitDie, proto::Protocol::kWoundWait,
+      proto::Protocol::kOcc,     proto::Protocol::kOrdered};
   EXPECT_EQ(all.size(), Engines().size());
   std::set<proto::Protocol> protocols;
   for (const EngineInfo& info : Engines()) {
