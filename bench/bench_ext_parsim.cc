@@ -1,0 +1,145 @@
+// Extension A19: parallel per-shard engine — wall-clock scaling of ONE
+// simulation across --sim-threads, with the bit-identical-metrics contract
+// checked on every row (DESIGN.md §15).
+//
+// Unlike the other benches (which parallelize across replications), this
+// one parallelizes INSIDE a single run: an 8-shard nowait workload big
+// enough that every logical process has real work per conservative window.
+// Expected shape: near-linear speedup to the shard count while the
+// per-window event load dominates the barrier cost, then a plateau; the
+// stall column shows the idle tax of conservative synchronization. The
+// serial-engine row is the legacy single-queue engine on the same
+// configuration (a different simulation — striped ids, barrier-latched
+// gates — so its metrics are a reference, not a comparison target).
+//
+// Unlike the other benches' CSVs, this one is not byte-identical across
+// reruns: the wall s / speedup / Mev/s columns are wall-clock
+// measurements. The windows / stall% / resp / abort% columns are
+// deterministic, and the byte-identity check below covers every metric.
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "bench_common.h"
+#include "common/check.h"
+#include "protocols/parsim.h"
+
+namespace gtpl::bench {
+namespace {
+
+/// The metrics every thread count must reproduce byte-for-byte.
+std::string MetricKey(const proto::RunResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%lld/%lld/%lld/%lld/%a/%a/%llu/%lld/%llu/%llu",
+                static_cast<long long>(r.commits),
+                static_cast<long long>(r.aborts),
+                static_cast<long long>(r.total_commits),
+                static_cast<long long>(r.total_aborts), r.response.mean(),
+                r.span_lock_wait.mean(),
+                static_cast<unsigned long long>(r.network.messages),
+                static_cast<long long>(r.end_time),
+                static_cast<unsigned long long>(r.sync_windows),
+                static_cast<unsigned long long>(r.sync_stalls));
+  return buf;
+}
+
+void Run(const harness::CliOptions& options) {
+  // One 8-shard run, sized so each LP owns 128 clients and a 1024-item
+  // slice: enough per-window work that the window parallelism, not the
+  // barrier, dominates. Mostly-read nowait keeps the abort path from
+  // serializing progress at this client count.
+  proto::SimConfig config;
+  config.protocol = proto::Protocol::kNoWait;
+  config.num_clients = 1024;
+  config.num_servers = 8;
+  config.latency = 100;
+  config.workload.num_items = 8192;
+  config.workload.read_prob = 0.8;
+  config.instant_abort_notice = false;
+  config.max_sim_time = 60'000'000'000;
+  harness::ApplyScale(options.scale, &config);
+
+  harness::Table table({"engine", "threads", "wall s", "speedup", "Mev/s",
+                        "windows", "stall%", "resp", "abort%"});
+
+  // Legacy serial engine reference (the sim_threads == 1 RunSimulation
+  // path on the identical configuration).
+  {
+    const auto started = std::chrono::steady_clock::now();
+    const proto::RunResult serial = proto::RunSimulation(config);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    table.AddRow({"serial", "1", harness::Fmt(seconds, 2), "-",
+                  harness::Fmt(static_cast<double>(serial.events) / 1e6 /
+                                   seconds,
+                               1),
+                  "-", "-", harness::Fmt(serial.response.mean(), 0),
+                  harness::Fmt(serial.AbortPercent(), 1)});
+  }
+
+  double base_seconds = 0.0;
+  std::string base_key;
+  for (int32_t threads : {1, 2, 4, 8}) {
+    proto::SimConfig point = config;
+    point.sim_threads = threads;
+    const auto started = std::chrono::steady_clock::now();
+    const proto::RunResult result = proto::RunParallelSimulation(point);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    GTPL_CHECK(!result.timed_out);
+    const std::string key = MetricKey(result);
+    if (threads == 1) {
+      base_seconds = seconds;
+      base_key = key;
+    } else {
+      // The determinism contract, enforced on every scaling row.
+      GTPL_CHECK(key == base_key)
+          << "metrics diverged at " << threads << " threads";
+    }
+    const uint64_t lp_windows =
+        result.sync_windows * static_cast<uint64_t>(config.num_servers);
+    table.AddRow(
+        {"parallel", std::to_string(threads), harness::Fmt(seconds, 2),
+         harness::Fmt(base_seconds / seconds, 2) + "x",
+         harness::Fmt(static_cast<double>(result.events) / 1e6 / seconds, 1),
+         std::to_string(result.sync_windows),
+         harness::Fmt(lp_windows > 0 ? 100.0 *
+                                           static_cast<double>(
+                                               result.sync_stalls) /
+                                           static_cast<double>(lp_windows)
+                                     : 0.0,
+                      1),
+         harness::Fmt(result.response.mean(), 0),
+         harness::Fmt(result.AbortPercent(), 1)});
+  }
+  table.Print(options.csv_path);
+  std::printf("\nmetrics byte-identical across sim-threads 1/2/4/8: OK\n");
+  // Speedup is a hardware claim, not a determinism claim: on a
+  // single-core host every multithreaded row is necessarily ~1x.
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw < 4) {
+    std::printf(
+        "note: only %u hardware thread(s) available — wall-clock speedup "
+        "requires a multi-core host; the bit-identity contract above is "
+        "the machine-independent result\n",
+        hw);
+  }
+}
+
+}  // namespace
+}  // namespace gtpl::bench
+
+int main(int argc, char** argv) {
+  const gtpl::harness::CliOptions options = gtpl::bench::ParseOrDie(argc, argv);
+  gtpl::harness::PrintBanner(
+      "Extension A19: parallel per-shard engine — intra-run scaling",
+      options);
+  gtpl::bench::Run(options);
+  return 0;
+}

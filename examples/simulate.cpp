@@ -103,6 +103,9 @@ void PrintUsage(const char* prog) {
       "  --ordering=fifo|reads-first|writes-first   g-2PL FL order (fifo)\n"
       "  --charged-abort-notice   charge one latency for abort notices\n"
       "  --wal-force-delay=N  simulated log-force latency (0)\n"
+      "  --sim-threads=N      intra-run worker threads (1 = the serial\n"
+      "                       engine; N > 1 runs the conservative per-shard\n"
+      "                       parallel engine, bit-identical at any N)\n"
       "  --trace=PATH         write the structured observability trace there\n"
       "                       (runs > 1 append .repN per replication)\n"
       "  --trace-format=jsonl|chrome   trace file format (jsonl; chrome\n"
@@ -262,6 +265,12 @@ bool ParseFlag(const std::string& arg, Flags* flags) {
     config.instant_abort_notice = false;
   } else if (const char* v17 = value_of("--wal-force-delay=")) {
     return ParseInt64Flag("--wal-force-delay", v17, &config.wal_force_delay);
+  } else if (const char* vst = value_of("--sim-threads=")) {
+    // Strict: 0, negatives, and malformed values all fail (non-zero exit).
+    int32_t threads = 0;
+    if (!ParseInt32Flag("--sim-threads", vst, &threads)) return false;
+    if (threads < 1 || threads > 256) return BadValue("--sim-threads", vst);
+    config.sim_threads = threads;
   } else if (const char* vt = value_of("--trace=")) {
     if (*vt == '\0') return BadValue("--trace", vt);
     flags->trace_path = vt;
@@ -338,6 +347,11 @@ int main(int argc, char** argv) {
                 static_cast<long long>(flags.config.lease.ttl),
                 flags.config.lease.max_held,
                 flags.config.workload.repeat_prob);
+  }
+  if (flags.config.sim_threads > 1) {
+    std::printf("parallel engine: %d sim threads, lookahead %lld\n",
+                flags.config.sim_threads,
+                static_cast<long long>(flags.config.latency));
   }
   if (flags.config.g2pl.adaptive.enabled) {
     const gtpl::core::AdaptiveWindowOptions& a = flags.config.g2pl.adaptive;
@@ -429,6 +443,12 @@ int main(int argc, char** argv) {
                       gtpl::harness::Fmt(point.lease_releases_per_commit, 2)});
     table.AddRow({"  revoke wait (of lock wait)",
                   gtpl::harness::Fmt(point.mean_lease_revoke_wait, 1)});
+  }
+  if (flags.config.sim_threads > 1) {
+    table.AddRow({"sync windows",
+                  gtpl::harness::Fmt(point.mean_sync_windows, 0)});
+    table.AddRow({"  barrier stalls (LP-windows)",
+                  gtpl::harness::Fmt(point.mean_sync_stalls, 0)});
   }
   table.AddRow({"committed transactions", std::to_string(point.total_commits)});
   table.AddRow({"aborted transactions", std::to_string(point.total_aborts)});

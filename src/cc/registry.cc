@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "protocols/caching.h"
 #include "protocols/g2pl.h"
+#include "protocols/parsim.h"
 #include "protocols/s2pl.h"
 #include "protocols/sharded.h"
 
@@ -129,10 +130,18 @@ namespace gtpl::proto {
 
 RunResult RunSimulation(const SimConfig& config) {
   GTPL_CHECK(config.Validate().ok()) << config.Validate().ToString();
+  if (config.sim_threads > 1) {
+    // The conservative per-shard parallel engine (--sim-threads=N,
+    // DESIGN.md §15); sim_threads == 1 keeps the legacy serial engines
+    // below bit-identical.
+    return RunParallelSimulation(config);
+  }
   return cc::EngineFor(config.protocol).make(config)->Run();
 }
 
 std::unique_ptr<EngineBase> MakeShardedEngine(const SimConfig& config) {
+  GTPL_CHECK_EQ(config.sim_threads, 1)
+      << "serial engine factory called with sim_threads > 1";
   if (config.protocol == Protocol::kG2pl) {
     return std::make_unique<ShardedG2plEngine>(config);
   }

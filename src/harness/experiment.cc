@@ -71,6 +71,8 @@ PointResult AggregateReplications(std::vector<ReplicaRun>& runs) {
   double fastpath_pct = 0.0;
   double coord_pct = 0.0;
   double fallback_pct = 0.0;
+  double sync_windows = 0.0;
+  double sync_stalls = 0.0;
   for (ReplicaRun& run : runs) {
     proto::RunResult& result = run.result;
     responses.push_back(result.response.mean());
@@ -135,6 +137,8 @@ PointResult AggregateReplications(std::vector<ReplicaRun>& runs) {
     opw_p50 += result.op_wait_hist.Percentile(0.50);
     opw_p99 += result.op_wait_hist.Percentile(0.99);
     lease_revoke_wait += result.span_lease_revoke.mean();
+    sync_windows += static_cast<double>(result.sync_windows);
+    sync_stalls += static_cast<double>(result.sync_stalls);
     if (!result.obs_trace.empty()) {
       out.traces.push_back(std::move(result.obs_trace));
     }
@@ -181,6 +185,8 @@ PointResult AggregateReplications(std::vector<ReplicaRun>& runs) {
                       : 0.0;
   out.xcommit_p50 =
       flight_runs > 0 ? xcommit_p50 / static_cast<double>(flight_runs) : 0.0;
+  out.mean_sync_windows = sync_windows / runs_count;
+  out.mean_sync_stalls = sync_stalls / runs_count;
   return out;
 }
 

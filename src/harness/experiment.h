@@ -75,6 +75,12 @@ struct PointResult {
   double lease_revokes_per_commit = 0.0;
   double lease_releases_per_commit = 0.0;
   double mean_lease_revoke_wait = 0.0;
+  /// Parallel-engine telemetry (sim_threads > 1 only, 0 otherwise;
+  /// DESIGN.md §15): mean conservative synchronization windows per
+  /// replication and mean barrier stalls — (LP, window) pairs where an LP
+  /// had nothing below the horizon — the idle tax of the window protocol.
+  double mean_sync_windows = 0.0;
+  double mean_sync_stalls = 0.0;
   /// Per-replication observability traces, in replication order (empty
   /// unless the config set obs_trace).
   std::vector<std::vector<obs::TraceEvent>> traces;

@@ -150,6 +150,48 @@ Status SimConfig::Validate() const {
   if (max_sim_time < 0) {
     return Status::InvalidArgument("max_sim_time must be >= 0");
   }
+  if (sim_threads < 1) {
+    return Status::InvalidArgument("sim_threads must be >= 1");
+  }
+  if (sim_threads > 1) {
+    // The parallel engine covers the decomposable subset: every coupling
+    // between shards must ride a message with >= one latency of delay
+    // (the lookahead), or conservative windows have no safe width.
+    if (protocol != Protocol::kNoWait && protocol != Protocol::kWaitDie) {
+      return Status::InvalidArgument(
+          "sim_threads > 1 supports the requester-victim engines only "
+          "(nowait, waitdie); other protocols consult instantaneous "
+          "cross-shard state (global graphs, wounds, caches)");
+    }
+    if (commit_path != CommitPath::kClassic) {
+      return Status::InvalidArgument(
+          "sim_threads > 1 requires the classic commit path");
+    }
+    if (lease.mode != lease::LeaseMode::kNone) {
+      return Status::InvalidArgument(
+          "sim_threads > 1 does not support lock leases");
+    }
+    if (link_bandwidth != 0.0 || latency_jitter != 0 ||
+        latency_spread != 0.0 || server_latency >= 0) {
+      return Status::InvalidArgument(
+          "sim_threads > 1 requires the uniform pure-propagation network "
+          "model (no bandwidth, jitter, spread, or server-latency mesh)");
+    }
+    if (latency < 1) {
+      return Status::InvalidArgument(
+          "sim_threads > 1 requires latency >= 1 (the lookahead bound)");
+    }
+    if (instant_abort_notice) {
+      return Status::InvalidArgument(
+          "sim_threads > 1 requires charged abort notices "
+          "(--charged-abort-notice): an instant notice is a zero-latency "
+          "cross-shard edge");
+    }
+    if (obs_trace || trace || record_protocol_events) {
+      return Status::InvalidArgument(
+          "sim_threads > 1 does not record traces or protocol events");
+    }
+  }
   return Status::Ok();
 }
 

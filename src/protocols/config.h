@@ -153,6 +153,20 @@ struct SimConfig {
   /// if the simulated clock passes this bound. 0 = unlimited.
   SimTime max_sim_time = 0;
 
+  /// Worker threads for intra-run parallelism (--sim-threads, DESIGN.md
+  /// §15). 1 (default) runs the legacy single-queue serial engine —
+  /// bit-identical to every pre-existing result. N > 1 runs the
+  /// conservative per-shard parallel engine (protocols/parsim.h): one
+  /// logical process per server shard, windows bounded by the one-way WAN
+  /// latency (the natural lookahead), results bit-identical at any thread
+  /// count (2, 4, 8, ... all produce the same bytes). The parallel engine
+  /// supports the decomposable configuration subset — requester-victim
+  /// conflict policies (nowait, waitdie), the classic commit path, no
+  /// leases, uniform pure-propagation latency, charged abort notices —
+  /// and Validate() rejects the rest (they couple shards through
+  /// zero-latency shared state, which has no finite lookahead).
+  int32_t sim_threads = 1;
+
   /// Sanity-checks field ranges; call before running.
   Status Validate() const;
 };

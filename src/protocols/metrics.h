@@ -143,6 +143,16 @@ struct RunResult {
   SimTime end_time = 0;
   bool timed_out = false;
 
+  // Parallel-engine telemetry (sim_threads > 1 only; empty/0 under the
+  // serial engine, DESIGN.md §15). `shard_events` is the per-LP event
+  // count (its imbalance bounds the speedup); `sync_windows` counts
+  // conservative synchronization windows, `sync_stalls` the (LP, window)
+  // pairs where an LP had nothing below the horizon and only waited at
+  // the barrier.
+  std::vector<uint64_t> shard_events;
+  uint64_t sync_windows = 0;
+  uint64_t sync_stalls = 0;
+
   // g-2PL specifics (0 for other protocols).
   int64_t windows_dispatched = 0;
   double mean_forward_list_length = 0.0;

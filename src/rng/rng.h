@@ -16,8 +16,16 @@ uint64_t SplitMix64(uint64_t x);
 /// so enabling one model (e.g. bandwidth queueing) never perturbs another's
 /// draws (e.g. think times) — the ROADMAP "per-component RNG streams" item.
 enum class SeedStream : uint64_t {
-  kNetJitter = 1,  // MatrixLatency per-message jitter
-  kNetQueue = 2,   // LinkModel cross-traffic phase offsets
+  kNetJitter = 1,      // MatrixLatency per-message jitter
+  kNetQueue = 2,       // LinkModel cross-traffic phase offsets
+  // Workload-generator sub-streams (active when an access-pattern knob —
+  // zipf_theta or repeat_prob — is nonzero; at the paper defaults the
+  // generator keeps its single legacy stream so existing runs replay bit
+  // for bit). Splitting item selection and read/write mix off the base
+  // stream means toggling an access-pattern knob no longer perturbs think
+  // and idle times, which stay on the generator's base stream.
+  kWorkloadItems = 3,  // item-count, item-selection, repeat draws
+  kWorkloadMix = 4,    // per-operation read/write mode draws
 };
 
 /// Seed of `stream`'s dedicated generator under `base_seed`. Keyed with an

@@ -7,6 +7,11 @@
 namespace gtpl::sim {
 
 void EventQueue::Push(SimTime time, uint64_t seq, std::function<void()> action) {
+#ifndef NDEBUG
+  GTPL_CHECK(seen_seqs_.insert(seq).second)
+      << "duplicate event seq " << seq
+      << " breaks the (time, seq) determinism tiebreak";
+#endif
   heap_.push_back(Event{time, seq, std::move(action)});
   SiftUp(heap_.size() - 1);
 }

@@ -5,6 +5,10 @@
 #include <functional>
 #include <vector>
 
+#ifndef NDEBUG
+#include <unordered_set>
+#endif
+
 #include "common/types.h"
 
 namespace gtpl::sim {
@@ -30,7 +34,10 @@ class EventQueue {
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  /// Inserts an event. `seq` must be unique per queue lifetime.
+  /// Inserts an event. `seq` must be unique per queue lifetime: it is the
+  /// same-tick tiebreak, and a duplicate makes event order depend on heap
+  /// internals instead of scheduling order. Debug builds check this; a
+  /// duplicate seq aborts.
   void Push(SimTime time, uint64_t seq, std::function<void()> action);
 
   /// Removes and returns the earliest event. Precondition: !empty().
@@ -54,6 +61,9 @@ class EventQueue {
   void SiftDown(size_t i);
 
   std::vector<Event> heap_;
+#ifndef NDEBUG
+  std::unordered_set<uint64_t> seen_seqs_;  // per-lifetime uniqueness check
+#endif
 };
 
 }  // namespace gtpl::sim

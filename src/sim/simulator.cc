@@ -35,9 +35,11 @@ uint64_t Simulator::Run(SimTime until) {
   return executed;
 }
 
-bool Simulator::Step() {
-  if (queue_.empty()) return false;
+bool Simulator::Step(SimTime until) {
+  if (queue_.empty() || stopped_) return false;
+  if (until >= 0 && queue_.PeekTime() > until) return false;
   Event event = queue_.Pop();
+  GTPL_CHECK_GE(event.time, now_);
   now_ = event.time;
   event.action();
   ++events_executed_;

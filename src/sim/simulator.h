@@ -38,8 +38,13 @@ class Simulator {
   /// number of events executed by this call.
   uint64_t Run(SimTime until = -1);
 
-  /// Executes exactly one event if available; returns false if queue empty.
-  bool Step();
+  /// Executes exactly one event under the same contract as Run(): returns
+  /// false without running anything if the queue is empty, the earliest
+  /// event lies past `until` (when >= 0), or a previously stepped event
+  /// called Stop() (Run() resets the stop flag; Step() never does, so a
+  /// stop sticks across Step() calls until the next Run()). Enforces the
+  /// same time-monotonicity check as Run().
+  bool Step(SimTime until = -1);
 
   /// Makes the current Run() call return after the in-flight event finishes.
   void Stop() { stopped_ = true; }

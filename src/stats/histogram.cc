@@ -27,6 +27,16 @@ void Histogram::Add(double value) {
   ++buckets_[index];
 }
 
+void Histogram::Merge(const Histogram& other) {
+  GTPL_CHECK_EQ(max_value_, other.max_value_);
+  GTPL_CHECK_EQ(buckets_.size(), other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+}
+
 double Histogram::Percentile(double q) const {
   GTPL_CHECK_GE(q, 0.0);
   GTPL_CHECK_LE(q, 1.0);

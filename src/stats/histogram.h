@@ -29,6 +29,12 @@ class Histogram {
 
   void Add(double value);
 
+  /// Merges another histogram bucket-wise (parallel-combine form). Both
+  /// histograms must have the same shape (max_value and bucket count);
+  /// merging is then exactly equivalent to having Added the other
+  /// histogram's samples here.
+  void Merge(const Histogram& other);
+
   int64_t count() const { return count_; }
   int64_t bucket_count(int32_t i) const { return buckets_[i]; }
   int64_t overflow() const { return overflow_; }

@@ -11,6 +11,8 @@ WorkloadGenerator::WorkloadGenerator(const WorkloadProfile& profile,
                                      uint64_t seed)
     : profile_(profile),
       rng_(seed),
+      items_rng_(rng::StreamSeed(seed, rng::SeedStream::kWorkloadItems)),
+      mix_rng_(rng::StreamSeed(seed, rng::SeedStream::kWorkloadMix)),
       zipf_(profile.num_items, profile.zipf_theta) {
   GTPL_CHECK_GT(profile.num_items, 0);
   GTPL_CHECK_GE(profile.min_items_per_txn, 1);
@@ -29,22 +31,24 @@ WorkloadGenerator::WorkloadGenerator(const WorkloadProfile& profile,
 TxnSpec WorkloadGenerator::NextTxn() {
   TxnSpec spec;
   std::vector<int32_t> items;
-  // The guard keeps repeat_prob == 0.0 free of extra stream draws, so every
-  // legacy run replays bit for bit.
+  // Item-selection draws come from items_rng(): the dedicated kWorkloadItems
+  // stream when an access-pattern knob is active, else the base stream (so
+  // the paper-default configuration replays bit for bit). The guard keeps
+  // repeat_prob == 0.0 free of extra stream draws either way.
   if (profile_.repeat_prob > 0.0 && !last_items_.empty() &&
-      rng_.Bernoulli(profile_.repeat_prob)) {
+      items_rng().Bernoulli(profile_.repeat_prob)) {
     items = last_items_;  // re-access the previous working set
   } else {
-    const auto count = static_cast<int32_t>(rng_.UniformInt(
+    const auto count = static_cast<int32_t>(items_rng().UniformInt(
         profile_.min_items_per_txn, profile_.max_items_per_txn));
     if (profile_.zipf_theta == 0.0) {
-      items = rng::SampleDistinct(rng_, profile_.num_items, count);
+      items = rng::SampleDistinct(items_rng(), profile_.num_items, count);
     } else {
       // Distinct Zipf draws: resample duplicates. The pool is small and the
       // per-transaction count <= 5, so rejection terminates fast.
       std::unordered_set<int32_t> seen;
       while (static_cast<int32_t>(items.size()) < count) {
-        const int32_t item = zipf_.Sample(rng_);
+        const int32_t item = zipf_.Sample(items_rng());
         if (seen.insert(item).second) items.push_back(item);
       }
     }
@@ -53,7 +57,7 @@ TxnSpec WorkloadGenerator::NextTxn() {
   last_items_ = items;
   spec.ops.reserve(items.size());
   for (int32_t item : items) {
-    const LockMode mode = rng_.Bernoulli(profile_.read_prob)
+    const LockMode mode = mix_rng().Bernoulli(profile_.read_prob)
                               ? LockMode::kShared
                               : LockMode::kExclusive;
     spec.ops.push_back(Operation{item, mode});

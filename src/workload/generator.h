@@ -54,8 +54,23 @@ class WorkloadGenerator {
   const WorkloadProfile& profile() const { return profile_; }
 
  private:
+  /// True when an access-pattern knob (zipf_theta or repeat_prob) is active:
+  /// item-selection draws then come from items_rng_ and read/write-mode
+  /// draws from mix_rng_ (dedicated rng::SeedStream streams), leaving the
+  /// base stream to think/idle times alone — so toggling one access-pattern
+  /// knob never perturbs the timing draws (or the other knob's stream). At
+  /// the paper defaults every draw stays on the single base stream, keeping
+  /// legacy runs bit-identical.
+  bool split_streams() const {
+    return profile_.zipf_theta != 0.0 || profile_.repeat_prob > 0.0;
+  }
+  rng::Rng& items_rng() { return split_streams() ? items_rng_ : rng_; }
+  rng::Rng& mix_rng() { return split_streams() ? mix_rng_ : rng_; }
+
   WorkloadProfile profile_;
   rng::Rng rng_;
+  rng::Rng items_rng_;
+  rng::Rng mix_rng_;
   rng::Zipf zipf_;
   std::vector<int32_t> last_items_;  // previous txn's items (repeat_prob)
 };

@@ -1,0 +1,181 @@
+// Unit tests for the conservative parallel simulation kernel
+// (sim/parallel.h): window/horizon semantics, deterministic channel merge
+// order, the lookahead safety bound, and bit-identical execution at any
+// worker count (DESIGN.md §15).
+
+#include "sim/parallel.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+
+namespace gtpl::sim {
+namespace {
+
+TEST(ParallelSimTest, LocalEventsRunLikeTheSerialKernel) {
+  ParallelSim sim(1, /*lookahead=*/5, /*num_threads=*/1);
+  std::vector<SimTime> seen;
+  sim.lp(0).Schedule(7, [&] { seen.push_back(sim.lp(0).Now()); });
+  sim.lp(0).Schedule(3, [&] {
+    seen.push_back(sim.lp(0).Now());
+    sim.lp(0).Schedule(0, [&] { seen.push_back(sim.lp(0).Now()); });
+  });
+  const ParallelRunStats stats = sim.Run();
+  EXPECT_EQ(seen, (std::vector<SimTime>{3, 3, 7}));
+  EXPECT_EQ(sim.lp(0).events_executed(), 3u);
+  EXPECT_FALSE(stats.stopped);
+}
+
+TEST(ParallelSimTest, CrossLpMessageArrivesAtSendTimePlusDelay) {
+  ParallelSim sim(2, /*lookahead=*/4, /*num_threads=*/1);
+  SimTime arrived = -1;
+  sim.lp(0).Schedule(2, [&] {
+    sim.lp(0).SendTo(1, 4, [&] { arrived = sim.lp(1).Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(arrived, 6);
+  EXPECT_EQ(sim.lp(1).events_executed(), 1u);
+}
+
+// Messages from several sources to one destination flush at the barrier in
+// (deliver_time, src_lp, src_seq) order — a total order independent of how
+// the window's LPs were scheduled onto threads.
+TEST(ParallelSimTest, ChannelMergeOrdersByTimeSourceThenSendSeq) {
+  ParallelSim sim(3, /*lookahead=*/5, /*num_threads=*/1);
+  std::vector<int> order;
+  // Both senders emit at t=0 toward LP 2. Same deliver time 10: LP 0's
+  // messages precede LP 1's, and each sender's own messages keep send
+  // order. An earlier deliver time (6 from LP 1) precedes them all.
+  sim.lp(0).Schedule(0, [&] {
+    sim.lp(0).SendTo(2, 10, [&] { order.push_back(1); });
+    sim.lp(0).SendTo(2, 10, [&] { order.push_back(2); });
+  });
+  sim.lp(1).Schedule(0, [&] {
+    sim.lp(1).SendTo(2, 10, [&] { order.push_back(3); });
+    sim.lp(1).SendTo(2, 6, [&] { order.push_back(0); });
+  });
+  const ParallelRunStats stats = sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(stats.messages, 4u);
+}
+
+TEST(ParallelSimTest, SelfSendIsPlainSchedulingAtAnyDelay) {
+  ParallelSim sim(2, /*lookahead=*/50, /*num_threads=*/1);
+  int fired = 0;
+  // Delay 0 < lookahead is legal for the own LP: no channel is involved.
+  sim.lp(0).Schedule(1, [&] { sim.lp(0).SendTo(0, 0, [&] { ++fired; }); });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ParallelSimDeathTest, CrossLpSendBelowLookaheadDies) {
+  ParallelSim sim(2, /*lookahead=*/5, /*num_threads=*/1);
+  EXPECT_DEATH(sim.lp(0).SendTo(1, 4, [] {}),
+               "below the lookahead bound");
+}
+
+TEST(ParallelSimTest, UntilClampsEveryClockAndRunsBoundaryEvents) {
+  ParallelSim sim(2, /*lookahead=*/5, /*num_threads=*/1);
+  int fired = 0;
+  sim.lp(0).Schedule(100, [&] { ++fired; });  // exactly at `until`: runs
+  sim.lp(1).Schedule(150, [&] { ++fired; });  // beyond: stays pending
+  sim.Run(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_GE(sim.lp(0).Now(), 100);
+  EXPECT_GE(sim.lp(1).Now(), 100);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(ParallelSimTest, StopEndsTheRunAtTheNextBarrier) {
+  ParallelSim sim(2, /*lookahead=*/2, /*num_threads=*/1);
+  int fired = 0;
+  for (SimTime t = 0; t < 100; t += 1) {
+    sim.lp(0).Schedule(t, [&, t] {
+      ++fired;
+      if (t == 10) sim.lp(0).Stop();
+    });
+  }
+  const ParallelRunStats stats = sim.Run();
+  EXPECT_TRUE(stats.stopped);
+  EXPECT_LT(fired, 100);
+  EXPECT_GE(fired, 11);  // the stopping event's own window still completes
+}
+
+TEST(ParallelSimTest, StallsCountIdleLpWindows) {
+  ParallelSim sim(2, /*lookahead=*/3, /*num_threads=*/1);
+  // Only LP 0 ever has events: LP 1 stalls at every barrier.
+  for (SimTime t = 0; t < 30; t += 10) {
+    sim.lp(0).Schedule(t, [] {});
+  }
+  const ParallelRunStats stats = sim.Run();
+  EXPECT_GT(stats.windows, 0u);
+  EXPECT_EQ(stats.stalls, stats.windows);  // LP 1 stalled in every window
+}
+
+TEST(ParallelSimTest, BarrierHookRunsOncePerWindow) {
+  ParallelSim sim(2, /*lookahead=*/3, /*num_threads=*/1);
+  uint64_t hook_calls = 0;
+  sim.SetBarrierHook([&] { ++hook_calls; });
+  for (SimTime t = 0; t < 30; t += 4) {
+    sim.lp(0).Schedule(t, [] {});
+    sim.lp(1).Schedule(t, [] {});
+  }
+  const ParallelRunStats stats = sim.Run();
+  EXPECT_EQ(hook_calls, stats.windows);
+}
+
+// The determinism pin: a token-passing workload over 4 LPs (cross-LP sends
+// at varying legal delays, LP-local records) must execute bit-identically
+// at 1, 2, and 4 worker threads.
+struct TokenRing {
+  static constexpr int32_t kLps = 4;
+  static constexpr int kHops = 60;
+
+  std::unique_ptr<ParallelSim> sim;
+  // Written only by events of the owning LP — no cross-thread writes.
+  std::vector<std::vector<SimTime>> logs;
+  std::function<void(int32_t, int)> hop;
+
+  explicit TokenRing(int threads)
+      : sim(std::make_unique<ParallelSim>(kLps, /*lookahead=*/3, threads)),
+        logs(kLps) {
+    hop = [this](int32_t lp, int hops) {
+      logs[static_cast<size_t>(lp)].push_back(sim->lp(lp).Now());
+      if (hops >= kHops) return;
+      const int32_t next = (lp + 1) % kLps;
+      sim->lp(lp).SendTo(next, 3 + hops % 4,
+                         [this, next, hops] { hop(next, hops + 1); });
+    };
+    for (int32_t lp = 0; lp < kLps; ++lp) {
+      sim->lp(lp).Schedule(lp, [this, lp] { hop(lp, 0); });
+    }
+  }
+};
+
+TEST(ParallelSimTest, BitIdenticalAtAnyThreadCount) {
+  TokenRing base(1);
+  const ParallelRunStats base_stats = base.sim->Run();
+  for (int threads : {2, 4}) {
+    TokenRing ring(threads);
+    const ParallelRunStats stats = ring.sim->Run();
+    EXPECT_EQ(ring.logs, base.logs) << threads << " threads";
+    EXPECT_EQ(stats.windows, base_stats.windows);
+    EXPECT_EQ(stats.stalls, base_stats.stalls);
+    EXPECT_EQ(stats.messages, base_stats.messages);
+    for (int32_t lp = 0; lp < TokenRing::kLps; ++lp) {
+      EXPECT_EQ(ring.sim->lp(lp).events_executed(),
+                base.sim->lp(lp).events_executed());
+      EXPECT_EQ(ring.sim->lp(lp).Now(), base.sim->lp(lp).Now());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gtpl::sim

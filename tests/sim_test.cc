@@ -123,6 +123,63 @@ TEST(SimulatorTest, StepExecutesOneEvent) {
   EXPECT_FALSE(sim.Step());
 }
 
+// Regression (PR 9 bugfix sweep): Step() used to ignore `until`, skip the
+// time-monotonicity check, and clear a pending stop — diverging from Run()'s
+// contract. These pin the repaired semantics.
+TEST(SimulatorTest, StepRespectsUntilHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(5, [&] { ++fired; });
+  EXPECT_FALSE(sim.Step(3));  // earliest event past the horizon
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_TRUE(sim.Step(5));  // event stamped exactly `until` still runs
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 5);
+}
+
+TEST(SimulatorTest, StepStopSticksUntilNextRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.stopped());
+  // The stop persists across Step() calls: nothing runs, nothing advances.
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  // Run() resets the flag and drains the remaining event.
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, StepAdvancesClockMonotonically) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.Schedule(4, [&] { seen.push_back(sim.Now()); });
+  sim.Schedule(2, [&] { seen.push_back(sim.Now()); });
+  sim.Schedule(4, [&] { seen.push_back(sim.Now()); });
+  while (sim.Step()) {
+  }
+  EXPECT_EQ(seen, (std::vector<SimTime>{2, 4, 4}));
+  EXPECT_EQ(sim.events_executed(), 3u);
+  EXPECT_EQ(sim.Now(), 4);
+}
+
+#ifndef NDEBUG
+// The (time, seq) pair is the determinism tiebreak; a duplicate seq makes
+// same-tick order depend on heap internals. Debug builds abort on it.
+TEST(EventQueueDeathTest, DuplicateSeqAbortsInDebugBuilds) {
+  EventQueue queue;
+  queue.Push(1, 7, [] {});
+  EXPECT_DEATH(queue.Push(2, 7, [] {}), "duplicate event seq");
+}
+#endif
+
 TEST(SimulatorTest, EmptyRunAdvancesToHorizon) {
   Simulator sim;
   sim.Run(100);

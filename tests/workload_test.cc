@@ -134,6 +134,64 @@ TEST(GeneratorTest, ZipfStillDistinct) {
   }
 }
 
+// At the paper defaults (zipf 0, repeat 0) every draw must stay on the
+// single legacy stream, in the legacy order: item count, item selection,
+// per-op modes, then whatever think/idle samples the engine interleaves.
+// This replays that order on a raw Rng and demands bit-identical output —
+// the "defaults unchanged" half of the PR 9 stream-split contract.
+TEST(GeneratorTest, DefaultsReplayTheSingleLegacyStream) {
+  const uint64_t seed = 77;
+  WorkloadGenerator gen(PaperProfile(), seed);
+  rng::Rng ref(seed);
+  for (int i = 0; i < 200; ++i) {
+    const TxnSpec spec = gen.NextTxn();
+    const auto count = static_cast<int32_t>(ref.UniformInt(1, 5));
+    const std::vector<int32_t> items = rng::SampleDistinct(ref, 25, count);
+    ASSERT_EQ(spec.ops.size(), items.size());
+    for (size_t j = 0; j < items.size(); ++j) {
+      EXPECT_EQ(spec.ops[j].item, items[j]);
+      const LockMode mode =
+          ref.Bernoulli(0.5) ? LockMode::kShared : LockMode::kExclusive;
+      EXPECT_EQ(spec.ops[j].mode, mode);
+    }
+    EXPECT_EQ(gen.SampleThink(), ref.UniformInt(1, 3));
+    EXPECT_EQ(gen.SampleIdle(), ref.UniformInt(2, 10));
+  }
+}
+
+// With an access-pattern knob active the item/mode draws move to dedicated
+// streams, so toggling ANOTHER access-pattern knob must leave the timing
+// (think/idle) sequence untouched — the other half of the contract.
+TEST(GeneratorTest, AccessKnobsDoNotPerturbTimingDraws) {
+  WorkloadProfile with_zipf = PaperProfile();
+  with_zipf.zipf_theta = 0.8;
+  WorkloadProfile with_repeat = with_zipf;
+  with_repeat.repeat_prob = 0.5;
+  WorkloadGenerator a(with_zipf, 21);
+  WorkloadGenerator b(with_repeat, 21);
+  for (int i = 0; i < 300; ++i) {
+    a.NextTxn();  // draws from the items/mix streams only
+    b.NextTxn();
+    EXPECT_EQ(a.SampleThink(), b.SampleThink());
+    EXPECT_EQ(a.SampleIdle(), b.SampleIdle());
+  }
+}
+
+TEST(GeneratorTest, RepeatProbReusesPreviousItemSet) {
+  WorkloadProfile profile = PaperProfile();
+  profile.repeat_prob = 1.0;
+  WorkloadGenerator gen(profile, 22);
+  TxnSpec prev = gen.NextTxn();
+  for (int i = 0; i < 100; ++i) {
+    const TxnSpec next = gen.NextTxn();
+    ASSERT_EQ(next.ops.size(), prev.ops.size());
+    for (size_t j = 0; j < next.ops.size(); ++j) {
+      EXPECT_EQ(next.ops[j].item, prev.ops[j].item);  // modes are redrawn
+    }
+    prev = next;
+  }
+}
+
 TEST(TxnSpecTest, DebugStringFormat) {
   TxnSpec spec;
   spec.id = 7;
