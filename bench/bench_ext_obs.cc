@@ -1,0 +1,189 @@
+// Extension A20: observability overhead — wall-clock cost of the trace
+// pipeline (off / buffered / streamed) and of time-series metrics sampling,
+// with the byte-identity and non-perturbation contracts checked on every
+// row (DESIGN.md §16).
+//
+// Each row reruns the SAME simulation (same seed) with a different
+// observability mode. The "key" determinism check asserts that every mode
+// reproduces the baseline's protocol results exactly — tracing and metrics
+// are observation-only. The streamed rows additionally require the on-disk
+// file to be byte-identical to the buffered export, and report the peak
+// chunk-buffer occupancy against the flush watermark (the bounded-memory
+// claim, measured rather than asserted).
+//
+// Like A19, the wall s / overhead% columns are wall-clock measurements and
+// vary across hosts; every other column is deterministic.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_common.h"
+#include "common/check.h"
+#include "obs/export.h"
+#include "protocols/engine.h"
+#include "protocols/parsim.h"
+
+namespace gtpl::bench {
+namespace {
+
+/// The protocol results every observability mode must reproduce exactly.
+std::string ResultKey(const proto::RunResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%lld/%lld/%lld/%lld/%a/%a/%llu/%lld",
+                static_cast<long long>(r.commits),
+                static_cast<long long>(r.aborts),
+                static_cast<long long>(r.total_commits),
+                static_cast<long long>(r.total_aborts), r.response.mean(),
+                r.span_lock_wait.mean(),
+                static_cast<unsigned long long>(r.network.messages),
+                static_cast<long long>(r.end_time));
+  return buf;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GTPL_CHECK(in.good()) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct Row {
+  std::string mode;
+  double seconds = 0.0;
+  int64_t trace_bytes = 0;
+  int64_t peak_buffer = 0;
+  std::string key;
+};
+
+template <typename RunFn>
+Row TimeOne(const std::string& mode, const proto::SimConfig& config,
+            RunFn run) {
+  const auto started = std::chrono::steady_clock::now();
+  const proto::RunResult result = run(config);
+  Row row;
+  row.mode = mode;
+  row.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+  row.key = ResultKey(result);
+  GTPL_CHECK(!result.timed_out);
+  if (!result.obs_trace.empty()) {
+    row.trace_bytes = static_cast<int64_t>(ToJsonl(result.obs_trace).size());
+  } else {
+    row.trace_bytes = result.trace_stream_bytes;
+    row.peak_buffer = result.trace_peak_buffer;
+  }
+  return row;
+}
+
+template <typename RunFn>
+void RunEngine(const char* engine_name, const proto::SimConfig& base,
+               RunFn run, harness::Table* table) {
+  const std::string stream_path =
+      std::string("/tmp/gtpl_bench_obs_") + engine_name + ".jsonl";
+
+  // Baseline: observability fully off.
+  const Row off = TimeOne("off", base, run);
+
+  // Buffered: in-memory trace, exported post-hoc.
+  proto::SimConfig buffered_config = base;
+  buffered_config.obs_trace = true;
+  std::string buffered_jsonl;
+  const Row buffered =
+      TimeOne("buffered", buffered_config,
+              [&run, &buffered_jsonl](const proto::SimConfig& config) {
+                proto::RunResult result = run(config);
+                buffered_jsonl = obs::ToJsonl(result.obs_trace);
+                return result;
+              });
+
+  // Streamed at two watermarks: default 1 MiB and a tight 64 KiB chunk.
+  std::vector<Row> rows = {off, buffered};
+  for (const int64_t watermark : {int64_t{1} << 20, int64_t{64} << 10}) {
+    proto::SimConfig streamed_config = base;
+    streamed_config.obs_trace = true;
+    streamed_config.trace_stream_path = stream_path;
+    streamed_config.trace_flush_bytes = watermark;
+    Row streamed = TimeOne(
+        "stream " + std::to_string(watermark >> 10) + "KiB", streamed_config,
+        run);
+    // The acceptance contract: streamed bytes == buffered bytes, and the
+    // chunk buffer never outgrew the watermark.
+    GTPL_CHECK(ReadFile(stream_path) == buffered_jsonl)
+        << engine_name << ": streamed trace diverged from buffered export";
+    GTPL_CHECK_LE(streamed.peak_buffer, watermark);
+    rows.push_back(streamed);
+  }
+
+  // Metrics sampling on top of the off baseline.
+  proto::SimConfig metrics_config = base;
+  metrics_config.metrics_interval = 50'000;
+  rows.push_back(TimeOne("metrics", metrics_config, run));
+
+  for (const Row& row : rows) {
+    GTPL_CHECK(row.key == off.key)
+        << engine_name << " mode " << row.mode
+        << ": observability perturbed the run";
+    table->AddRow(
+        {engine_name, row.mode, harness::Fmt(row.seconds, 2),
+         harness::Fmt(off.seconds > 0.0
+                          ? 100.0 * (row.seconds - off.seconds) / off.seconds
+                          : 0.0,
+                      1),
+         row.trace_bytes > 0
+             ? harness::Fmt(static_cast<double>(row.trace_bytes) / 1e6, 1)
+             : std::string("-"),
+         row.peak_buffer > 0
+             ? harness::Fmt(static_cast<double>(row.peak_buffer) / 1024.0, 1)
+             : std::string("-")});
+  }
+}
+
+void Run(const harness::CliOptions& options) {
+  // A mid-size sharded workload: big enough that the trace stream reaches
+  // tens of MB (the regime the bounded-memory sink exists for), small
+  // enough to keep the full mode grid in seconds.
+  proto::SimConfig config;
+  config.protocol = proto::Protocol::kNoWait;
+  config.num_clients = 128;
+  config.num_servers = 8;
+  config.latency = 100;
+  config.workload.num_items = 2048;
+  config.workload.read_prob = 0.8;
+  config.instant_abort_notice = false;
+  config.max_sim_time = 60'000'000'000;
+  harness::ApplyScale(options.scale, &config);
+
+  harness::Table table(
+      {"engine", "mode", "wall s", "overhead%", "trace MB", "peak buf KiB"});
+  RunEngine("serial", config,
+            [](const proto::SimConfig& c) { return proto::RunSimulation(c); },
+            &table);
+  proto::SimConfig parallel = config;
+  parallel.sim_threads = 4;
+  RunEngine("parallel", parallel,
+            [](const proto::SimConfig& c) {
+              return proto::RunParallelSimulation(c);
+            },
+            &table);
+  table.Print(options.csv_path);
+  std::printf(
+      "\nbyte-identity (streamed == buffered) and non-perturbation "
+      "(all modes == off) checked on every row: OK\n");
+}
+
+}  // namespace
+}  // namespace gtpl::bench
+
+int main(int argc, char** argv) {
+  const gtpl::harness::CliOptions options = gtpl::bench::ParseOrDie(argc, argv);
+  gtpl::harness::PrintBanner(
+      "Extension A20: observability overhead — trace pipeline and metrics",
+      options);
+  gtpl::bench::Run(options);
+  return 0;
+}

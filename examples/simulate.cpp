@@ -17,6 +17,7 @@
 #include "harness/table.h"
 #include "lease/lease.h"
 #include "obs/export.h"
+#include "obs/metrics.h"
 #include "protocols/config.h"
 #include "protocols/engine.h"
 
@@ -52,6 +53,8 @@ struct Flags {
   int jobs = 1;  // replications run serially unless --jobs raises it
   std::string trace_path;  // empty = tracing off
   gtpl::obs::TraceFormat trace_format = gtpl::obs::TraceFormat::kJsonl;
+  std::string metrics_path;  // empty = no metrics file
+  gtpl::obs::MetricsFormat metrics_format = gtpl::obs::MetricsFormat::kCsv;
 };
 
 void PrintUsage(const char* prog) {
@@ -109,7 +112,17 @@ void PrintUsage(const char* prog) {
       "  --trace=PATH         write the structured observability trace there\n"
       "                       (runs > 1 append .repN per replication)\n"
       "  --trace-format=jsonl|chrome   trace file format (jsonl; chrome\n"
-      "                       loads into chrome://tracing / Perfetto)\n",
+      "                       loads into chrome://tracing / Perfetto)\n"
+      "  --trace-stream=PATH  stream the trace to PATH while running\n"
+      "                       (bounded memory; JSONL only, byte-identical\n"
+      "                       to --trace; runs > 1 append .repN)\n"
+      "  --trace-flush-bytes=N  streaming chunk watermark, bytes (1048576)\n"
+      "  --metrics-interval=N sample time-series gauges every N simulated\n"
+      "                       time units (>= 1; off by default; needs\n"
+      "                       --metrics-out)\n"
+      "  --metrics-out=PATH   write the sampled series there (runs > 1\n"
+      "                       append .repN per replication)\n"
+      "  --metrics-format=csv|jsonl   metrics file format (csv)\n",
       prog, gtpl::cc::EngineNames().c_str(),
       gtpl::proto::CommitPathNames().c_str(),
       gtpl::lease::LeaseModeNames().c_str());
@@ -284,6 +297,33 @@ bool ParseFlag(const std::string& arg, Flags* flags) {
     } else {
       return BadValue("--trace-format", vf);
     }
+  } else if (const char* vts = value_of("--trace-stream=")) {
+    if (*vts == '\0') return BadValue("--trace-stream", vts);
+    config.trace_stream_path = vts;
+    config.obs_trace = true;
+  } else if (const char* vfb = value_of("--trace-flush-bytes=")) {
+    int64_t bytes = 0;
+    if (!ParseInt64Flag("--trace-flush-bytes", vfb, &bytes)) return false;
+    if (bytes < 1) return BadValue("--trace-flush-bytes", vfb);
+    config.trace_flush_bytes = bytes;
+  } else if (const char* vmi = value_of("--metrics-interval=")) {
+    // Strict: 0, negatives, and malformed values all fail (non-zero exit).
+    int64_t interval = 0;
+    if (!ParseInt64Flag("--metrics-interval", vmi, &interval)) return false;
+    if (interval < 1) return BadValue("--metrics-interval", vmi);
+    config.metrics_interval = interval;
+  } else if (const char* vmo = value_of("--metrics-out=")) {
+    if (*vmo == '\0') return BadValue("--metrics-out", vmo);
+    flags->metrics_path = vmo;
+  } else if (const char* vmf = value_of("--metrics-format=")) {
+    const std::string name = vmf;
+    if (name == "csv") {
+      flags->metrics_format = gtpl::obs::MetricsFormat::kCsv;
+    } else if (name == "jsonl") {
+      flags->metrics_format = gtpl::obs::MetricsFormat::kJsonl;
+    } else {
+      return BadValue("--metrics-format", vmf);
+    }
   } else {
     std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
     return false;
@@ -304,6 +344,27 @@ int main(int argc, char** argv) {
       PrintUsage(argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
+  }
+  if (!flags.config.trace_stream_path.empty()) {
+    if (!flags.trace_path.empty()) {
+      std::fprintf(stderr, "--trace-stream and --trace are mutually "
+                           "exclusive (one trace destination per run)\n");
+      return 2;
+    }
+    if (flags.trace_format == gtpl::obs::TraceFormat::kChrome) {
+      std::fprintf(stderr, "--trace-stream writes JSONL only; "
+                           "--trace-format=chrome needs the buffered "
+                           "--trace path\n");
+      return 2;
+    }
+  }
+  if (flags.config.metrics_interval > 0 && flags.metrics_path.empty()) {
+    std::fprintf(stderr, "--metrics-interval needs --metrics-out=PATH\n");
+    return 2;
+  }
+  if (flags.config.metrics_interval == 0 && !flags.metrics_path.empty()) {
+    std::fprintf(stderr, "--metrics-out needs --metrics-interval=N\n");
+    return 2;
   }
   const gtpl::Status status = flags.config.Validate();
   if (!status.ok()) {
@@ -471,6 +532,33 @@ int main(int argc, char** argv) {
       }
       std::printf("trace (%zu events) written to %s\n",
                   point.traces[rep].size(), path.c_str());
+    }
+  }
+  if (!flags.config.trace_stream_path.empty()) {
+    std::printf("trace streamed to %s%s\n",
+                flags.config.trace_stream_path.c_str(),
+                flags.runs > 1 ? ".rep<r> (one file per replication)" : "");
+  }
+  if (!flags.metrics_path.empty()) {
+    for (size_t rep = 0; rep < point.metrics.size(); ++rep) {
+      const std::string path =
+          point.metrics.size() == 1
+              ? flags.metrics_path
+              : flags.metrics_path + ".rep" + std::to_string(rep);
+      std::ofstream out(path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot write metrics file %s\n", path.c_str());
+        return 2;
+      }
+      if (flags.metrics_format == gtpl::obs::MetricsFormat::kJsonl) {
+        gtpl::obs::WriteMetricsJsonl(point.metric_names, point.metrics[rep],
+                                     out);
+      } else {
+        gtpl::obs::WriteMetricsCsv(point.metric_names, point.metrics[rep],
+                                   out);
+      }
+      std::printf("metrics (%zu rows) written to %s\n",
+                  point.metrics[rep].size(), path.c_str());
     }
   }
   if (point.any_timed_out) {

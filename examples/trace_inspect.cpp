@@ -18,6 +18,7 @@
 #include "harness/cli.h"
 #include "harness/table.h"
 #include "obs/export.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "protocols/invariants.h"
 
@@ -50,22 +51,87 @@ std::string Pct(int64_t part, int64_t total) {
          "%";
 }
 
+/// Replays a metrics CSV (simulate --metrics-out): per-series sample count,
+/// min/max/last value, over the full sampled time range. Returns false on a
+/// malformed file.
+bool InspectMetrics(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::vector<gtpl::obs::MetricSample> samples;
+  std::string error;
+  if (!gtpl::obs::ReadMetricsCsv(in, &samples, &error)) {
+    std::fprintf(stderr, "malformed metrics %s: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  std::printf("%s: %zu samples", path.c_str(), samples.size());
+  if (!samples.empty()) {
+    std::printf(", sim time [%lld, %lld]",
+                static_cast<long long>(samples.front().time),
+                static_cast<long long>(samples.back().time));
+  }
+  std::printf("\n\n");
+  struct SeriesStats {
+    int64_t count = 0;
+    int64_t min = 0;
+    int64_t max = 0;
+    int64_t last = 0;
+  };
+  // Keyed by (name, shard); std::map iteration gives a stable print order.
+  std::map<std::pair<std::string, int32_t>, SeriesStats> series;
+  for (const gtpl::obs::MetricSample& sample : samples) {
+    SeriesStats& stats = series[{sample.name, sample.shard}];
+    if (stats.count == 0) {
+      stats.min = sample.value;
+      stats.max = sample.value;
+    } else {
+      stats.min = std::min(stats.min, sample.value);
+      stats.max = std::max(stats.max, sample.value);
+    }
+    stats.last = sample.value;
+    ++stats.count;
+  }
+  gtpl::harness::Table table(
+      {"metric", "shard", "samples", "min", "max", "last"});
+  for (const auto& [key, stats] : series) {
+    table.AddRow({key.first,
+                  key.second < 0 ? std::string("-")
+                                 : std::to_string(key.second),
+                  std::to_string(stats.count), std::to_string(stats.min),
+                  std::to_string(stats.max), std::to_string(stats.last)});
+  }
+  table.Print();
+  std::printf("\n");
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string path;
+  std::string metrics_path;
   int32_t top = 10;
   bool check_invariants = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
-                   "usage: %s TRACE.jsonl [--top=N] [--check-invariants]\n",
+                   "usage: %s [TRACE.jsonl] [--top=N] [--check-invariants] "
+                   "[--metrics=FILE.csv]\n",
                    argv[0]);
       return 0;
     } else if (arg.rfind("--top=", 0) == 0) {
       if (!gtpl::harness::ParseInt32Value(arg.c_str() + 6, &top) || top < 1) {
         std::fprintf(stderr, "invalid --top value: %s\n", arg.c_str() + 6);
+        return 2;
+      }
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(std::strlen("--metrics="));
+      if (metrics_path.empty()) {
+        std::fprintf(stderr, "invalid --metrics value (empty path)\n");
         return 2;
       }
     } else if (arg == "--check-invariants") {
@@ -77,10 +143,16 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (path.empty()) {
-    std::fprintf(stderr, "usage: %s TRACE.jsonl [--top=N] [--check-invariants]\n",
+  if (path.empty() && metrics_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [TRACE.jsonl] [--top=N] [--check-invariants] "
+                 "[--metrics=FILE.csv]\n",
                  argv[0]);
     return 2;
+  }
+  if (path.empty()) {
+    // Metrics-only invocation.
+    return InspectMetrics(metrics_path) ? 0 : 2;
   }
 
   std::ifstream in(path, std::ios::binary);
@@ -218,6 +290,8 @@ int main(int argc, char** argv) {
     contention.Print();
     std::printf("\n");
   }
+
+  if (!metrics_path.empty() && !InspectMetrics(metrics_path)) return 2;
 
   if (check_invariants) {
     const std::vector<gtpl::proto::ProtocolEvent> protocol_events =

@@ -318,6 +318,31 @@ void LockCcEngine::FillProtocolMetrics(RunResult* result) {
   result->lease_releases = lease_releases_;
 }
 
+void LockCcEngine::RegisterMetrics(obs::MetricsRegistry* metrics) {
+  ShardedEngineBase::RegisterMetrics(metrics);
+  // Per-shard lock-table occupancy; under sticky leases the lock tables sit
+  // idle and the lease table/caches carry the contention state instead.
+  for (int32_t s = 0; s < static_cast<int32_t>(lock_tables_.size()); ++s) {
+    db::LockTable* table = lock_tables_[static_cast<size_t>(s)].get();
+    metrics->Register("locks_held", s, [table] { return table->TotalHeld(); });
+    metrics->Register("lock_waiters", s,
+                      [table] { return table->TotalWaiters(); });
+  }
+  if (sticky_) {
+    metrics->Register("leases_held", -1,
+                      [this] { return lease_table_.TotalLeases(); });
+    metrics->Register("lease_waiters", -1,
+                      [this] { return lease_table_.TotalWaiters(); });
+    metrics->Register("lease_cached", -1, [this] {
+      int64_t cached = 0;
+      for (const lease::LeaseCache& cache : lease_caches_) {
+        cached += cache.Size();
+      }
+      return cached;
+    });
+  }
+}
+
 // --- sticky-lease machinery (DESIGN.md §14) ------------------------------
 
 void LockCcEngine::DoCommitSticky(TxnRun& run) {

@@ -64,6 +64,7 @@ class LockCcEngine : public proto::ShardedEngineBase, public PolicyHost {
   void DoCommit(TxnRun& run) override;
   void OnClientAborted(TxnRun& run) override;
   void FillProtocolMetrics(proto::RunResult* result) override;
+  void RegisterMetrics(obs::MetricsRegistry* metrics) override;
   bool ShardVote(int32_t shard, TxnId txn, bool speculative) override;
   void OnCommitDecision(int32_t shard, TxnId txn) override;
 

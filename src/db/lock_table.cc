@@ -125,4 +125,20 @@ std::vector<ItemId> LockTable::HeldItems(TxnId txn) const {
   return it->second;
 }
 
+int64_t LockTable::TotalHeld() const {
+  int64_t total = 0;
+  for (const ItemLocks& locks : items_) {
+    total += static_cast<int64_t>(locks.granted.size());
+  }
+  return total;
+}
+
+int64_t LockTable::TotalWaiters() const {
+  int64_t total = 0;
+  for (const ItemLocks& locks : items_) {
+    total += static_cast<int64_t>(locks.waiting.size());
+  }
+  return total;
+}
+
 }  // namespace gtpl::db

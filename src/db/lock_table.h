@@ -66,6 +66,12 @@ class LockTable {
   /// Items currently held by `txn`.
   std::vector<ItemId> HeldItems(TxnId txn) const;
 
+  /// Total granted locks across all items (a metrics-registry gauge).
+  int64_t TotalHeld() const;
+
+  /// Total queued (waiting) requests across all items (a metrics gauge).
+  int64_t TotalWaiters() const;
+
  private:
   struct ItemLocks {
     std::vector<LockRequest> granted;

@@ -16,8 +16,14 @@ struct ReplicaRun {
   double seconds = 0.0;
 };
 
-ReplicaRun RunOneReplica(proto::SimConfig config, uint64_t seed) {
+ReplicaRun RunOneReplica(proto::SimConfig config, uint64_t seed, int32_t rep,
+                         int32_t runs) {
   config.seed = seed;
+  if (!config.trace_stream_path.empty() && runs > 1) {
+    // Each replication streams to its own file: path.rep<r> (the single-run
+    // case keeps the configured path verbatim).
+    config.trace_stream_path += ".rep" + std::to_string(rep);
+  }
   const auto started = std::chrono::steady_clock::now();
   ReplicaRun run;
   run.result = proto::RunSimulation(config);
@@ -142,6 +148,12 @@ PointResult AggregateReplications(std::vector<ReplicaRun>& runs) {
     if (!result.obs_trace.empty()) {
       out.traces.push_back(std::move(result.obs_trace));
     }
+    if (!result.metrics.empty()) {
+      out.metrics.push_back(std::move(result.metrics));
+      if (out.metric_names.empty()) {
+        out.metric_names = std::move(result.metric_names);
+      }
+    }
   }
   const auto runs_count = static_cast<double>(runs.size());
   out.response = stats::Summarize(responses);
@@ -195,11 +207,12 @@ SweepResult RunSweepImpl(const std::vector<proto::SimConfig>& points,
   GTPL_CHECK_GE(runs, 1);
   exec::SweepRunner<ReplicaRun> runner(jobs);
   std::vector<std::vector<ReplicaRun>> grid = runner.Run(
-      points.size(), runs, [&points, mix_point_seeds](size_t point, int32_t rep) {
+      points.size(), runs,
+      [&points, runs, mix_point_seeds](size_t point, int32_t rep) {
         const proto::SimConfig& config = points[point];
         const uint64_t point_seed =
             mix_point_seeds ? PointSeed(config.seed, point) : config.seed;
-        return RunOneReplica(config, ReplicaSeed(point_seed, rep));
+        return RunOneReplica(config, ReplicaSeed(point_seed, rep), rep, runs);
       });
   SweepResult out;
   out.jobs = runner.jobs();

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "protocols/engine.h"
 #include "stats/replication.h"
@@ -82,8 +83,14 @@ struct PointResult {
   double mean_sync_windows = 0.0;
   double mean_sync_stalls = 0.0;
   /// Per-replication observability traces, in replication order (empty
-  /// unless the config set obs_trace).
+  /// unless the config set obs_trace; also empty when the trace streamed
+  /// to a file instead of the in-memory buffer).
   std::vector<std::vector<obs::TraceEvent>> traces;
+  /// Per-replication time-series metric rows, in replication order (empty
+  /// unless the config set metrics_interval > 0), and the series names
+  /// shared by every replication (registration order).
+  std::vector<std::vector<obs::MetricRow>> metrics;
+  std::vector<std::string> metric_names;
   int64_t total_commits = 0;
   int64_t total_aborts = 0;
   bool any_timed_out = false;

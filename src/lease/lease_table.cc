@@ -216,4 +216,13 @@ int64_t LeaseTable::TotalWaiters() const {
   return total;
 }
 
+int64_t LeaseTable::TotalLeases() const {
+  int64_t total = 0;
+  for (const auto& [item, entry] : items_) {
+    total += static_cast<int64_t>(entry.readers.size()) +
+             (entry.writer >= 0 ? 1 : 0);
+  }
+  return total;
+}
+
 }  // namespace gtpl::lease

@@ -100,6 +100,10 @@ class LeaseTable {
   /// Total queued waiters across all items (for tests).
   int64_t TotalWaiters() const;
 
+  /// Total held site leases across all items (write lease + read leases;
+  /// a metrics-registry gauge).
+  int64_t TotalLeases() const;
+
  private:
   struct ItemLease {
     SiteId writer = -1;           // site holding the write lease, or -1

@@ -105,6 +105,17 @@ SimTime LinkModel::MaxNicBusyTicks() const {
   return max_busy;
 }
 
+SimTime LinkModel::MaxNicBacklog(SimTime now) const {
+  SimTime max_backlog = 0;
+  for (const auto& [site, nic] : uplinks_) {
+    max_backlog = std::max(max_backlog, nic.free_at - now);
+  }
+  for (const auto& [site, nic] : downlinks_) {
+    max_backlog = std::max(max_backlog, nic.free_at - now);
+  }
+  return max_backlog;
+}
+
 double LinkModel::MaxUtilization(SimTime horizon) const {
   if (horizon <= 0) return 0.0;
   return static_cast<double>(MaxNicBusyTicks()) /

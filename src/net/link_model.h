@@ -86,6 +86,11 @@ class LinkModel {
   /// when the queue model is overloaded (service extends past the horizon).
   double MaxUtilization(SimTime horizon) const;
 
+  /// Largest per-NIC backlog at `now`: how far the most congested NIC's
+  /// earliest free slot lies in the future (0 when every NIC is idle). A
+  /// metrics-registry gauge — the instantaneous queueing pressure.
+  SimTime MaxNicBacklog(SimTime now) const;
+
   const LinkConfig& config() const { return config_; }
 
  private:

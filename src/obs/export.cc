@@ -31,7 +31,9 @@ void AppendEscaped(const std::string& text, std::string* out) {
   }
 }
 
-void AppendEvent(const TraceEvent& e, std::string* out) {
+}  // namespace
+
+void AppendEventJsonl(const TraceEvent& e, std::string* out) {
   char buf[512];
   std::snprintf(
       buf, sizeof(buf),
@@ -67,7 +69,9 @@ void AppendEvent(const TraceEvent& e, std::string* out) {
   *out += "}\n";
 }
 
-/// Strict sequential parser for the exact shape AppendEvent writes.
+namespace {
+
+/// Strict sequential parser for the exact shape AppendEventJsonl writes.
 class LineParser {
  public:
   explicit LineParser(const std::string& line) : text_(line) {}
@@ -188,7 +192,7 @@ bool ParseLine(const std::string& line, TraceEvent* e, std::string* error) {
 void WriteJsonl(const std::vector<TraceEvent>& events, std::ostream& out) {
   std::string buffer;
   buffer.reserve(events.size() * 160);
-  for (const TraceEvent& e : events) AppendEvent(e, &buffer);
+  for (const TraceEvent& e : events) AppendEventJsonl(e, &buffer);
   out << buffer;
 }
 
@@ -201,10 +205,37 @@ std::string ToJsonl(const std::vector<TraceEvent>& events) {
 bool ReadJsonl(std::istream& in, std::vector<TraceEvent>* events,
                std::string* error) {
   std::string line;
+  int64_t line_no = 0;
+  bool have_prev = false;
+  SimTime prev_time = 0;
+  uint64_t prev_seq = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
     TraceEvent e;
-    if (!ParseLine(line, &e, error)) return false;
+    if (!ParseLine(line, &e, error)) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": " + *error;
+      }
+      return false;
+    }
+    // Every writer stamps a dense, time-monotone (time, seq) order, so the
+    // pairs must be strictly increasing lexicographically; anything else is
+    // a corrupted, truncated-and-rejoined, or hand-spliced file.
+    if (have_prev &&
+        (e.time < prev_time || (e.time == prev_time && e.seq <= prev_seq))) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) +
+                 ": out-of-order or duplicate event: (t=" +
+                 std::to_string(e.time) + ",seq=" + std::to_string(e.seq) +
+                 ") after (t=" + std::to_string(prev_time) + ",seq=" +
+                 std::to_string(prev_seq) + ")";
+      }
+      return false;
+    }
+    have_prev = true;
+    prev_time = e.time;
+    prev_seq = e.seq;
     events->push_back(std::move(e));
   }
   return true;
@@ -218,12 +249,15 @@ void WriteChromeTrace(const std::vector<TraceEvent>& events,
   // what matters.
   out << "[";
   bool first = true;
+  int64_t dropped_transport = 0;
+  SimTime last_time = 0;
   std::unordered_map<TxnId, SimTime> begin_time;
   auto comma = [&out, &first] {
     if (!first) out << ",\n";
     first = false;
   };
   for (const TraceEvent& e : events) {
+    last_time = e.time;
     switch (e.kind) {
       case EventKind::kTxnBegin:
         begin_time[e.txn] = e.time;
@@ -249,7 +283,10 @@ void WriteChromeTrace(const std::vector<TraceEvent>& events,
       }
       case EventKind::kMsgSend:
       case EventKind::kMsgDeliver:
-        break;  // too dense for the viewer; JSONL keeps the full detail
+        // Too dense for the viewer; JSONL keeps the full detail. Counted
+        // (not silently cut): a metadata event announces the omission.
+        ++dropped_transport;
+        break;
       default: {
         comma();
         out << "{\"name\":\"" << ToString(e.kind) << "\",\"ph\":\"i\",\"ts\":"
@@ -257,6 +294,16 @@ void WriteChromeTrace(const std::vector<TraceEvent>& events,
             << ",\"s\":\"t\"}";
       }
     }
+  }
+  if (dropped_transport > 0) {
+    comma();
+    out << "{\"name\":\"transport events omitted\",\"ph\":\"i\",\"ts\":"
+        << last_time << ",\"pid\":0,\"tid\":0,\"s\":\"g\",\"args\":"
+        << "{\"dropped_msg_events\":" << dropped_transport << "}}";
+    std::fprintf(stderr,
+                 "WriteChromeTrace: omitted %lld msg_send/msg_deliver events "
+                 "(too dense for the viewer; the JSONL export keeps them)\n",
+                 static_cast<long long>(dropped_transport));
   }
   out << "]\n";
 }

@@ -15,6 +15,13 @@ enum class TraceFormat {
   kChrome = 1,  // Chrome trace-event JSON (load in chrome://tracing / Perfetto)
 };
 
+/// Appends the canonical one-line JSONL serialization of `event`
+/// (including the trailing newline) to `out`. This is THE serializer: the
+/// buffered writer (WriteJsonl) and the streaming sink (obs/sink.h) both
+/// call it, so streamed and buffered traces of the same run are
+/// byte-identical by construction.
+void AppendEventJsonl(const TraceEvent& event, std::string* out);
+
 /// Writes `events` as JSONL: one object per line with a fixed key order and
 /// integer-only values (plus the escaped label string), so equal event
 /// streams serialize to byte-identical files — the determinism tests diff
@@ -26,6 +33,11 @@ std::string ToJsonl(const std::vector<TraceEvent>& events);
 
 /// Parses a JSONL trace produced by WriteJsonl. Returns false (and stops)
 /// on the first malformed line; `error` gets a diagnostic when non-null.
+/// Strict about stream order as well as shape: events must be strictly
+/// increasing in (time, seq) — a duplicate or out-of-order pair is
+/// rejected with a line-numbered diagnostic (every writer in this repo
+/// stamps dense sequence numbers in time order, so a violation means a
+/// corrupted or hand-spliced file).
 bool ReadJsonl(std::istream& in, std::vector<TraceEvent>* events,
                std::string* error = nullptr);
 

@@ -1,0 +1,109 @@
+#include "obs/metrics.h"
+
+#include <charconv>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace gtpl::obs {
+
+int32_t MetricsRegistry::Register(std::string name, int32_t shard,
+                                  std::function<int64_t()> probe) {
+  const int32_t index = static_cast<int32_t>(names_.size());
+  names_.push_back(std::move(name));
+  probes_.push_back(Probe{shard, std::move(probe)});
+  return index;
+}
+
+void MetricsRegistry::SampleAll(SimTime time) {
+  for (size_t i = 0; i < probes_.size(); ++i) {
+    rows_.push_back(MetricRow{time, probes_[i].shard,
+                              static_cast<int32_t>(i), probes_[i].fn()});
+  }
+}
+
+void WriteMetricsCsv(const std::vector<std::string>& names,
+                     const std::vector<MetricRow>& rows, std::ostream& out) {
+  std::string buffer = "time,shard,metric,value\n";
+  char line[160];
+  for (const MetricRow& row : rows) {
+    std::snprintf(line, sizeof(line), "%lld,%d,%s,%lld\n",
+                  static_cast<long long>(row.time), row.shard,
+                  names[static_cast<size_t>(row.series)].c_str(),
+                  static_cast<long long>(row.value));
+    buffer += line;
+  }
+  out << buffer;
+}
+
+std::string MetricsToCsv(const std::vector<std::string>& names,
+                         const std::vector<MetricRow>& rows) {
+  std::ostringstream out;
+  WriteMetricsCsv(names, rows, out);
+  return out.str();
+}
+
+void WriteMetricsJsonl(const std::vector<std::string>& names,
+                       const std::vector<MetricRow>& rows, std::ostream& out) {
+  std::string buffer;
+  char line[192];
+  for (const MetricRow& row : rows) {
+    std::snprintf(line, sizeof(line),
+                  "{\"t\":%lld,\"shard\":%d,\"metric\":\"%s\",\"v\":%lld}\n",
+                  static_cast<long long>(row.time), row.shard,
+                  names[static_cast<size_t>(row.series)].c_str(),
+                  static_cast<long long>(row.value));
+    buffer += line;
+  }
+  out << buffer;
+}
+
+namespace {
+
+bool ParseI64(const std::string& field, int64_t* out) {
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+bool ReadMetricsCsv(std::istream& in, std::vector<MetricSample>* samples,
+                    std::string* error) {
+  std::string line;
+  int64_t line_no = 0;
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + why + ": " + line;
+    }
+    return false;
+  };
+  if (!std::getline(in, line)) return true;  // empty file: zero samples
+  ++line_no;
+  if (line != "time,shard,metric,value") return fail("bad header");
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const size_t c1 = line.find(',');
+    const size_t c2 = c1 == std::string::npos ? c1 : line.find(',', c1 + 1);
+    const size_t c3 = c2 == std::string::npos ? c2 : line.find(',', c2 + 1);
+    if (c3 == std::string::npos) return fail("expected 4 fields");
+    MetricSample s;
+    int64_t shard = 0;
+    if (!ParseI64(line.substr(0, c1), &s.time) ||
+        !ParseI64(line.substr(c1 + 1, c2 - c1 - 1), &shard) ||
+        !ParseI64(line.substr(c3 + 1), &s.value)) {
+      return fail("non-integer field");
+    }
+    s.shard = static_cast<int32_t>(shard);
+    s.name = line.substr(c2 + 1, c3 - c2 - 1);
+    if (s.name.empty()) return fail("empty metric name");
+    samples->push_back(std::move(s));
+  }
+  return true;
+}
+
+}  // namespace gtpl::obs

@@ -2,6 +2,8 @@
 #define GTPL_OBS_TRACE_H_
 
 #include <cstdint>
+#include <functional>
+#include <iterator>
 #include <string>
 #include <utility>
 #include <vector>
@@ -97,11 +99,29 @@ struct TraceEvent {
   }
 };
 
-/// Buffering trace sink. Zero overhead when disabled: Emit is a single
-/// branch and every call site guards the (possibly costly) event
-/// construction behind enabled(). Emission never draws random numbers and
-/// never schedules events, so enabling tracing cannot perturb a run —
-/// metrics are bit-identical with tracing on or off.
+/// Destination for events as they are emitted. The streaming implementation
+/// (obs/sink.h) bounds memory by flushing serialized chunks to a file; the
+/// default (no sink attached) is the Tracer's in-memory buffer.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Accepts one fully-stamped event (seq and time already set).
+  virtual void Append(const TraceEvent& event) = 0;
+
+  /// Pushes any buffered bytes to the backing store.
+  virtual void Flush() = 0;
+};
+
+/// Trace source. Zero overhead when disabled: Emit is a single branch and
+/// every call site guards the (possibly costly) event construction behind
+/// enabled(). Emission never draws random numbers and never schedules
+/// events, so enabling tracing cannot perturb a run — metrics are
+/// bit-identical with tracing on or off.
+///
+/// Events either accumulate in an in-memory buffer (the default; Take()
+/// drains it) or stream to an attached TraceSink (SetSink; the buffer then
+/// stays empty and memory is bounded by the sink's flush watermark).
 class Tracer {
  public:
   Tracer() = default;
@@ -112,6 +132,16 @@ class Tracer {
   /// Binds the simulated clock used to stamp events.
   void Attach(const sim::Simulator* simulator) { simulator_ = simulator; }
 
+  /// Binds an arbitrary clock callback instead of a Simulator — the
+  /// parallel engine's per-LP tracers read their ShardSim's local clock.
+  void AttachClock(std::function<SimTime()> clock) {
+    clock_ = std::move(clock);
+  }
+
+  /// Routes every emitted event to `sink` instead of the in-memory buffer.
+  /// Pass nullptr to restore buffering.
+  void SetSink(TraceSink* sink) { sink_ = sink; }
+
   void Enable() { enabled_ = true; }
   bool enabled() const { return enabled_; }
 
@@ -120,7 +150,13 @@ class Tracer {
   void Emit(TraceEvent event) {
     if (!enabled_) return;
     event.seq = next_seq_++;
-    event.time = simulator_ != nullptr ? simulator_->Now() : 0;
+    event.time = simulator_ != nullptr
+                     ? simulator_->Now()
+                     : (clock_ ? clock_() : 0);
+    if (sink_ != nullptr) {
+      sink_->Append(event);
+      return;
+    }
     events_.push_back(std::move(event));
   }
 
@@ -133,8 +169,26 @@ class Tracer {
     return out;
   }
 
+  /// Moves out the prefix of buffered events with time < `bound`, keeping
+  /// the rest. Buffered events are time-monotone (the clock never goes
+  /// backwards), so the prefix is exactly the events below the bound. Used
+  /// by the parallel-trace merger, whose barrier guarantees no future event
+  /// on this LP can be stamped < bound.
+  std::vector<TraceEvent> TakeBelow(SimTime bound) {
+    size_t n = 0;
+    while (n < events_.size() && events_[n].time < bound) ++n;
+    std::vector<TraceEvent> out;
+    out.reserve(n);
+    out.insert(out.end(), std::make_move_iterator(events_.begin()),
+               std::make_move_iterator(events_.begin() + n));
+    events_.erase(events_.begin(), events_.begin() + n);
+    return out;
+  }
+
  private:
   const sim::Simulator* simulator_ = nullptr;
+  std::function<SimTime()> clock_;
+  TraceSink* sink_ = nullptr;
   bool enabled_ = false;
   uint64_t next_seq_ = 0;
   std::vector<TraceEvent> events_;

@@ -73,6 +73,15 @@ EngineBase::EngineBase(const SimConfig& config) : config_(config) {
   if (config.trace) network_->EnableTracing();
   tracer_.Attach(&sim_);
   if (config.obs_trace) tracer_.Enable();
+  if (!config.trace_stream_path.empty()) {
+    // Bounded-memory streaming: the tracer forwards every event to the
+    // chunked JSONL sink instead of buffering (DESIGN.md §16).
+    trace_sink_ = std::make_unique<obs::StreamSink>(config.trace_stream_path,
+                                                    config.trace_flush_bytes);
+    GTPL_CHECK(trace_sink_->ok())
+        << "cannot open trace stream " << config.trace_stream_path;
+    tracer_.SetSink(trace_sink_.get());
+  }
   network_->SetTracer(&tracer_);
   // Full response / op-wait distributions behind the Welford means. Bucket
   // width tracks the configured latency (the natural unit of every round),
@@ -113,6 +122,26 @@ EngineBase::TxnRun* EngineBase::FindRun(TxnId txn) {
 }
 
 RunResult EngineBase::Run() {
+  // Time-series sampling (DESIGN.md §16): one self-rescheduling event fires
+  // at every multiple of the interval and reads the registered probes.
+  // Probes are read-only and draw no randomness, so the run is
+  // bit-identical with sampling on or off (the sampler's own fires are
+  // subtracted from the event count below). The sampler stops rescheduling
+  // once the queue is otherwise empty so a drain-ended run still drains.
+  obs::MetricsRegistry metrics;
+  uint64_t sampler_fires = 0;
+  std::function<void()> sample;
+  if (config_.metrics_interval > 0) {
+    RegisterMetrics(&metrics);
+    sample = [this, &metrics, &sampler_fires, &sample] {
+      ++sampler_fires;
+      metrics.SampleAll(sim_.Now());
+      if (sim_.pending_events() > 0) {
+        sim_.Schedule(config_.metrics_interval, sample);
+      }
+    };
+    sim_.Schedule(config_.metrics_interval, sample);
+  }
   for (ClientState& client : clients_) {
     const SimTime idle = client.generator->SampleIdle();
     sim_.Schedule(idle, [this, index = client.index] {
@@ -122,13 +151,22 @@ RunResult EngineBase::Run() {
   sim_.Run(config_.max_sim_time == 0 ? -1 : config_.max_sim_time);
   result_.timed_out = measured_commits_ < config_.measured_txns;
   if (config_.trace) result_.trace = network_->trace();
-  result_.events = sim_.events_executed();
+  result_.events = sim_.events_executed() - sampler_fires;
   result_.end_time = sim_.Now();
   result_.network = network_->stats();
   result_.max_link_utilization = network_->MaxLinkUtilization(sim_.Now());
   result_.queue_delay_p99 =
       network_->queue_delay_histogram().Percentile(0.99);
   result_.obs_trace = tracer_.Take();
+  if (trace_sink_ != nullptr) {
+    trace_sink_->Flush();
+    result_.trace_stream_bytes = trace_sink_->bytes_written();
+    result_.trace_peak_buffer = trace_sink_->peak_buffer_bytes();
+  }
+  if (config_.metrics_interval > 0) {
+    result_.metrics = metrics.TakeRows();
+    result_.metric_names = metrics.TakeNames();
+  }
   result_.wal_appends = server_wal_->appends();
   result_.wal_forces = server_wal_->forces();
   result_.wal_retained = static_cast<int64_t>(server_wal_->size());
@@ -383,6 +421,27 @@ void EngineBase::MaybeGcClientLogs() {
       queue.pop_front();
     }
   }
+}
+
+void EngineBase::RegisterMetrics(obs::MetricsRegistry* metrics) {
+  // Engine-global gauges every protocol shares. Subclasses override, call
+  // this first, then append their own series (the registration order IS the
+  // series order in the output file).
+  metrics->Register("active_txns", -1, [this] {
+    int64_t active = 0;
+    for (const ClientState& client : clients_) {
+      if (client.current != nullptr && !client.current->finished) ++active;
+    }
+    return active;
+  });
+  metrics->Register("commits_total", -1,
+                    [this] { return result_.total_commits; });
+  metrics->Register("aborts_total", -1,
+                    [this] { return result_.total_aborts; });
+  metrics->Register("nic_backlog", -1, [this] {
+    net::LinkModel* link = network_->link_model();
+    return link == nullptr ? 0 : link->MaxNicBacklog(sim_.Now());
+  });
 }
 
 void EngineBase::RecordEvent(ProtocolEvent event) {

@@ -150,6 +150,17 @@ Status SimConfig::Validate() const {
   if (max_sim_time < 0) {
     return Status::InvalidArgument("max_sim_time must be >= 0");
   }
+  if (!trace_stream_path.empty() && !obs_trace) {
+    return Status::InvalidArgument(
+        "trace_stream_path requires obs_trace (simulate --trace-stream "
+        "implies it)");
+  }
+  if (trace_flush_bytes < 1) {
+    return Status::InvalidArgument("trace_flush_bytes must be >= 1");
+  }
+  if (metrics_interval < 0) {
+    return Status::InvalidArgument("metrics_interval must be >= 0 (0 = off)");
+  }
   if (sim_threads < 1) {
     return Status::InvalidArgument("sim_threads must be >= 1");
   }
@@ -187,9 +198,15 @@ Status SimConfig::Validate() const {
           "(--charged-abort-notice): an instant notice is a zero-latency "
           "cross-shard edge");
     }
-    if (obs_trace || trace || record_protocol_events) {
+    // obs_trace is supported: each LP gets its own Tracer and the streams
+    // are k-way merged at window barriers into the kernel's deterministic
+    // (time, lp, seq) order (DESIGN.md §16). The legacy per-message network
+    // trace and the invariant event stream remain serial-only.
+    if (trace || record_protocol_events) {
       return Status::InvalidArgument(
-          "sim_threads > 1 does not record traces or protocol events");
+          "sim_threads > 1 does not record network traces or protocol "
+          "events (the structured obs trace IS supported: --trace merges "
+          "per-LP streams deterministically)");
     }
   }
   return Status::Ok();

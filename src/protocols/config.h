@@ -130,6 +130,27 @@ struct SimConfig {
   /// on or off; the stream itself is deterministic per seed (DESIGN.md
   /// §11). Costs memory and time; default off (simulate --trace).
   bool obs_trace = false;
+  /// Stream the observability trace to this JSONL file instead of buffering
+  /// it in memory (obs/sink.h, DESIGN.md §16): events serialize through the
+  /// same writer as the buffered path and flush in chunks bounded by
+  /// `trace_flush_bytes`, so traces larger than RAM survive sweep-scale
+  /// runs and the file is byte-identical to the buffered export of the same
+  /// run. Requires obs_trace; empty (default) keeps the buffered path.
+  /// When the harness replicates a point (runs > 1), replica r writes to
+  /// "<path>.rep<r>".
+  std::string trace_stream_path;
+  /// Flush watermark for the streaming sink, in bytes: the chunk buffer is
+  /// flushed before an append would push it past this bound, so peak
+  /// tracer-buffer occupancy stays under max(watermark, longest line).
+  int64_t trace_flush_bytes = 1 << 20;
+  /// Sampling interval, in simulated time units, for the time-series
+  /// metrics registry (obs/metrics.h, DESIGN.md §16): every registered
+  /// gauge/counter — lock-table occupancy, lease tables, NIC backlog,
+  /// in-flight 2PC, PDES window/stall telemetry — is sampled at each
+  /// multiple of the interval and returned in RunResult::metrics.
+  /// Observation-only and deterministic at any thread count. 0 (default)
+  /// disables sampling.
+  SimTime metrics_interval = 0;
   /// Record the protocol-invariant event stream (window dispatches, reader
   /// release arrivals, writer update releases, graph audits, 2PC rounds)
   /// consumed by the checkers in protocols/invariants.h (tests only; costs

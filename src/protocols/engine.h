@@ -12,6 +12,8 @@
 #include "db/data_store.h"
 #include "db/wal.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
 #include "obs/trace.h"
 #include "protocols/config.h"
 #include "protocols/metrics.h"
@@ -112,6 +114,14 @@ class EngineBase {
   /// The run ended (committed or the abort notice arrived): drop any
   /// per-transaction bookkeeping. Default no-op.
   virtual void OnTxnClosed(const TxnRun& run) { (void)run; }
+  /// Register this engine's time-series gauges with the metrics registry
+  /// (obs/metrics.h; called once before the run when metrics_interval > 0).
+  /// The base registers the engine-global series — active transactions,
+  /// cumulative commits/aborts, NIC backlog; overrides call the parent
+  /// first, then add their own (lock tables, lease state, in-flight 2PC),
+  /// so the series order is the class hierarchy's registration order and
+  /// identical across runs. Probes must be read-only.
+  virtual void RegisterMetrics(obs::MetricsRegistry* metrics);
 
   /// PreRequestHook + SendRequest — the lifecycle's single entry for
   /// issuing the current operation's request.
@@ -192,6 +202,9 @@ class EngineBase {
   SimConfig config_;
   sim::Simulator sim_;
   obs::Tracer tracer_;
+  /// Streaming trace sink (trace_stream_path only; the tracer then streams
+  /// through it instead of buffering — DESIGN.md §16).
+  std::unique_ptr<obs::StreamSink> trace_sink_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<db::DataStore> store_;
   std::unique_ptr<db::WriteAheadLog> server_wal_;

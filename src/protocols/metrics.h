@@ -7,6 +7,7 @@
 
 #include "common/types.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "protocols/invariants.h"
 #include "stats/histogram.h"
@@ -219,8 +220,22 @@ struct RunResult {
 
   /// Structured observability trace (only when obs_trace was set); see
   /// obs/trace.h and DESIGN.md §11. Deterministic: byte-identical across
-  /// reruns of the same seed at any worker count.
+  /// reruns of the same seed at any worker count. Empty when the trace was
+  /// streamed to a file instead (trace_stream_path, DESIGN.md §16).
   std::vector<obs::TraceEvent> obs_trace;
+
+  /// Streaming-sink telemetry (trace_stream_path only; 0 otherwise): bytes
+  /// written and the peak chunk-buffer occupancy — the bounded-memory
+  /// acceptance check asserts peak stays under the flush watermark.
+  int64_t trace_stream_bytes = 0;
+  int64_t trace_peak_buffer = 0;
+
+  /// Time-series metric samples (only when metrics_interval > 0); see
+  /// obs/metrics.h and DESIGN.md §16. `metric_names` maps MetricRow::series
+  /// to series names. Deterministic: the CSV export is byte-identical
+  /// across reruns of the same seed at any thread count.
+  std::vector<obs::MetricRow> metrics;
+  std::vector<std::string> metric_names;
 
   /// Aborted / (aborted + committed) in the measured phase, in percent —
   /// the quantity plotted in the paper's Figures 8-15.

@@ -18,6 +18,9 @@
 #include "common/check.h"
 #include "db/lock_table.h"
 #include "db/wal.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "obs/trace.h"
 #include "rng/rng.h"
 #include "sim/parallel.h"
 #include "workload/generator.h"
@@ -108,7 +111,7 @@ class ParallelEngine {
   void StartLocalCommit(Client& client);
   void FinalizeCommit(Client& client);
   void SendReleases(Client& client);
-  void ClientOnVote(int32_t client_index, TxnId txn);
+  void ClientOnVote(int32_t client_index, TxnId txn, int32_t voting_shard);
   void ClientOnAbortNotice(int32_t client_index, TxnId txn,
                            int32_t deciding_shard);
   void ScheduleNextTxn(Client& client);
@@ -122,6 +125,16 @@ class ParallelEngine {
   void ServerOnRelease(int32_t shard, TxnId txn, std::vector<Update> updates);
   void ServerOnAbortRelease(int32_t shard, TxnId txn);
 
+  // --- observability (DESIGN.md §16) ----------------------------------
+  bool tracing() const { return merger_ != nullptr; }
+  obs::Tracer& TracerOf(int32_t lp) {
+    return *tracers_[static_cast<size_t>(lp)];
+  }
+  /// Emits every metrics_interval crossing strictly below `horizon` (the
+  /// completed window's horizon). Probe state and the crossing sequence are
+  /// barrier state — thread-count-invariant, so the series is deterministic.
+  void SampleMetricsBelow(SimTime horizon);
+
   SimConfig config_;
   SimTime latency_;
   int32_t items_per_shard_;
@@ -129,6 +142,17 @@ class ParallelEngine {
   std::unique_ptr<sim::ParallelSim> psim_;
   std::vector<Client> clients_;
   std::vector<Shard> shards_;
+  /// One Tracer per LP (obs_trace only): events stamp the owning LP's
+  /// clock and a dense per-LP seq; merger_ re-orders them into the global
+  /// (time, lp, per-LP seq) stream at window barriers — byte-identical at
+  /// any thread count, and to the same run at sim_threads == 1.
+  std::vector<std::unique_ptr<obs::Tracer>> tracers_;
+  std::unique_ptr<obs::StreamSink> trace_sink_;
+  std::unique_ptr<obs::TraceMerger> merger_;
+  /// Time-series gauges (metrics_interval > 0 only), sampled from the
+  /// barrier hook; see SampleMetricsBelow.
+  obs::MetricsRegistry metrics_;
+  SimTime next_sample_ = 0;
   /// Per-LP metric slices (merged in LP order after the run).
   std::vector<RunResult> slices_;
   /// Global warmup flag, latched in the window-barrier hook on a snapshot
@@ -175,6 +199,69 @@ ParallelEngine::ParallelEngine(const SimConfig& config)
         config.workload, seeder.Next64());
     client.wal = std::make_unique<db::WriteAheadLog>(config.wal_force_delay);
   }
+  if (config.obs_trace) {
+    std::vector<obs::Tracer*> lps;
+    tracers_.reserve(static_cast<size_t>(num_shards()));
+    for (int32_t i = 0; i < num_shards(); ++i) {
+      auto tracer = std::make_unique<obs::Tracer>();
+      tracer->AttachClock([this, i] { return psim_->lp(i).Now(); });
+      tracer->Enable();
+      lps.push_back(tracer.get());
+      tracers_.push_back(std::move(tracer));
+    }
+    merger_ = std::make_unique<obs::TraceMerger>(std::move(lps));
+    if (!config.trace_stream_path.empty()) {
+      trace_sink_ = std::make_unique<obs::StreamSink>(
+          config.trace_stream_path, config.trace_flush_bytes);
+      GTPL_CHECK(trace_sink_->ok())
+          << "cannot open trace stream " << config.trace_stream_path;
+      merger_->SetSink(trace_sink_.get());
+    }
+  }
+  if (config.metrics_interval > 0) {
+    next_sample_ = config.metrics_interval;
+    // Per-shard protocol gauges first (shard-major, fixed series order),
+    // then the kernel's window/stall telemetry as global series — the
+    // registration order is the file's series order.
+    for (int32_t s = 0; s < num_shards(); ++s) {
+      metrics_.Register("active_txns", s, [this, s] {
+        int64_t active = 0;
+        for (const Client& client : clients_) {
+          if (LpOfClient(client.index) != s) continue;
+          if (client.current != nullptr && !client.current->finished) {
+            ++active;
+          }
+        }
+        return active;
+      });
+      metrics_.Register("commits_total", s, [this, s] {
+        return slices_[static_cast<size_t>(s)].total_commits;
+      });
+      metrics_.Register("aborts_total", s, [this, s] {
+        return slices_[static_cast<size_t>(s)].total_aborts;
+      });
+      metrics_.Register("locks_held", s, [this, s] {
+        return shards_[static_cast<size_t>(s)].locks->TotalHeld();
+      });
+      metrics_.Register("lock_waiters", s, [this, s] {
+        return shards_[static_cast<size_t>(s)].locks->TotalWaiters();
+      });
+    }
+    metrics_.Register("sync_windows", -1, [this] {
+      return static_cast<int64_t>(psim_->running_stats().windows);
+    });
+    metrics_.Register("sync_stalls", -1, [this] {
+      return static_cast<int64_t>(psim_->running_stats().stalls);
+    });
+  }
+}
+
+void ParallelEngine::SampleMetricsBelow(SimTime horizon) {
+  if (config_.metrics_interval <= 0) return;
+  while (next_sample_ < horizon) {
+    metrics_.SampleAll(next_sample_);
+    next_sample_ += config_.metrics_interval;
+  }
 }
 
 void ParallelEngine::SendMsg(int32_t src_lp, int32_t dst_lp, SiteId from,
@@ -214,6 +301,14 @@ void ParallelEngine::BeginTxn(int32_t client_index) {
   run->start_time = now;
   run->request_time = now;
   client.current = std::move(run);
+  if (tracing()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kTxnBegin;
+    event.txn = client.current->id;
+    event.site = client.current->site();
+    event.payload = static_cast<int64_t>(client.current->spec.ops.size());
+    TracerOf(LpOfClient(client_index)).Emit(std::move(event));
+  }
   IssueRequest(client);
 }
 
@@ -251,6 +346,17 @@ void ParallelEngine::ClientOnGrant(int32_t client_index, TxnId txn,
   const SimTime op_lock_wait = std::max<SimTime>(0, wait - 2 * latency_);
   run->span.lock_wait += op_lock_wait;
   run->span.propagation += 2 * latency_;
+  if (tracing()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kLockGrant;
+    event.txn = run->id;
+    event.site = run->site();
+    event.item = item;
+    event.mode = static_cast<int32_t>(run->op().mode);
+    event.d0 = op_lock_wait;
+    event.d1 = wait;
+    TracerOf(LpOfClient(client_index)).Emit(std::move(event));
+  }
   run->pending_version = version;
   const SimTime think = client.generator->SampleThink();
   run->span.execution += think;
@@ -355,18 +461,37 @@ void ParallelEngine::ServerOnPrepare(int32_t shard, TxnId txn,
   // abort victim (requester-victim subset): the vote is always yes. The
   // participant forces its own prepare record before voting.
   Shard& state = shards_[static_cast<size_t>(shard)];
+  if (tracing()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kPrepare;
+    event.txn = txn;
+    event.shard = shard;
+    event.site = ShardSiteOf(shard);
+    TracerOf(shard).Emit(std::move(event));
+  }
   const int64_t lsn =
       state.wal->Append(db::LogRecordKind::kPrepare, txn, kInvalidItem, 0);
   state.wal->Force(lsn);
   SendMsg(shard, LpOfClient(client_index), ShardSiteOf(shard),
-          client_index + 1, net::kControlPayload,
-          [this, client_index, txn] { ClientOnVote(client_index, txn); });
+          client_index + 1, net::kControlPayload, [this, client_index, txn,
+                                                  shard] {
+            ClientOnVote(client_index, txn, shard);
+          });
 }
 
-void ParallelEngine::ClientOnVote(int32_t client_index, TxnId txn) {
+void ParallelEngine::ClientOnVote(int32_t client_index, TxnId txn,
+                                  int32_t voting_shard) {
   Client& client = clients_[static_cast<size_t>(client_index)];
   PTxn* run = client.current.get();
   if (run == nullptr || run->id != txn || run->finished) return;
+  if (tracing()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kVote;
+    event.txn = txn;
+    event.shard = voting_shard;
+    event.flag = true;  // requester-victim subset: votes are always yes
+    TracerOf(LpOfClient(client_index)).Emit(std::move(event));
+  }
   GTPL_CHECK_GT(run->votes_pending, 0);
   if (--run->votes_pending > 0) return;
   // All votes home. Under uniform latency the last prepare landed exactly
@@ -425,6 +550,20 @@ void ParallelEngine::FinalizeCommit(Client& client) {
     committed.commit_flights = run.commit_flights;
     slice.history.push_back(std::move(committed));
   }
+  if (tracing()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kTxnCommit;
+    event.txn = run.id;
+    event.site = run.site();
+    event.flag = measured;
+    event.payload = now - run.start_time;  // response time
+    event.d0 = run.span.lock_wait;
+    event.d1 = run.span.propagation;
+    event.d2 = run.span.queueing;
+    event.d3 = run.span.execution;
+    event.d4 = run.span.commit;
+    TracerOf(lp_index).Emit(std::move(event));
+  }
   SendReleases(client);
   // Client-log GC at commit finalize (documented simplification of the
   // serial engines' server-acknowledged truncation): the commit's installs
@@ -477,6 +616,16 @@ void ParallelEngine::ServerOnRequest(int32_t shard, TxnId txn,
                                      int32_t client_index, ItemId item,
                                      LockMode mode, SimTime txn_start,
                                      int64_t held_ops) {
+  if (tracing()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kLockRequest;
+    event.txn = txn;
+    event.site = client_index + 1;
+    event.item = item;
+    event.mode = static_cast<int32_t>(mode);
+    event.shard = shard;
+    TracerOf(shard).Emit(std::move(event));
+  }
   Shard& state = shards_[static_cast<size_t>(shard)];
   const db::LockResult outcome = state.locks->Request(txn, item, mode);
   if (outcome == db::LockResult::kGranted) {
@@ -511,6 +660,16 @@ void ParallelEngine::ServerOnRequest(int32_t shard, TxnId txn,
         static_cast<double>(psim_->lp(shard).Now() - txn_start));
     slice.abort_held_items.Add(static_cast<double>(held_ops));
   }
+  if (tracing()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kTxnAbort;
+    event.txn = txn;
+    event.site = client_index + 1;
+    event.peer = ShardSiteOf(shard);
+    event.d0 = psim_->lp(shard).Now() - txn_start;  // age at the decision
+    event.payload = held_ops;
+    TracerOf(shard).Emit(std::move(event));
+  }
   state.locks->ReleaseAll(txn,
                           [this, shard](TxnId granted, ItemId gitem,
                                         LockMode gmode) {
@@ -539,6 +698,15 @@ void ParallelEngine::SendGrant(int32_t shard, TxnId txn, ItemId item) {
 
 void ParallelEngine::ServerOnRelease(int32_t shard, TxnId txn,
                                      std::vector<Update> updates) {
+  if (tracing()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kLockRelease;
+    event.txn = txn;
+    event.site = ShardSiteOf(shard);
+    event.shard = shard;
+    event.payload = static_cast<int64_t>(updates.size());
+    TracerOf(shard).Emit(std::move(event));
+  }
   Shard& state = shards_[static_cast<size_t>(shard)];
   for (const Update& update : updates) {
     Version& installed = state.versions[static_cast<size_t>(update.item)];
@@ -564,6 +732,15 @@ void ParallelEngine::ServerOnRelease(int32_t shard, TxnId txn,
 }
 
 void ParallelEngine::ServerOnAbortRelease(int32_t shard, TxnId txn) {
+  if (tracing()) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kLockRelease;
+    event.txn = txn;
+    event.site = ShardSiteOf(shard);
+    event.shard = shard;
+    event.label = "abort";
+    TracerOf(shard).Emit(std::move(event));
+  }
   shards_[static_cast<size_t>(shard)].locks->ReleaseAll(
       txn, [this, shard](TxnId granted, ItemId item, LockMode mode) {
         (void)mode;
@@ -612,7 +789,7 @@ RunResult ParallelEngine::Run() {
   // Warmup crossing and the stop target are evaluated at window barriers
   // on global commit-count snapshots — deterministic at any thread count
   // (the run overshoots the serial per-commit stop by at most one window).
-  psim_->SetBarrierHook([this] {
+  psim_->SetBarrierHook([this](SimTime horizon) {
     int64_t total = 0;
     int64_t measured = 0;
     for (const RunResult& slice : slices_) {
@@ -621,6 +798,11 @@ RunResult ParallelEngine::Run() {
     }
     if (!measuring_ && total >= config_.warmup_txns) measuring_ = true;
     if (measured >= config_.measured_txns) psim_->lp(0).Stop();
+    // The barrier guarantees no future event can be stamped below the
+    // horizon, so the trace prefix and the metric crossings below it are
+    // final — drain both here (single-threaded, all LPs quiescent).
+    if (merger_ != nullptr) merger_->Flush(horizon);
+    SampleMetricsBelow(horizon);
   });
   const sim::ParallelRunStats stats =
       psim_->Run(config_.max_sim_time == 0 ? -1 : config_.max_sim_time);
@@ -697,6 +879,18 @@ RunResult ParallelEngine::Run() {
     result.wal_forces += client.wal->forces();
     result.wal_retained += static_cast<int64_t>(client.wal->size());
   }
+  if (merger_ != nullptr) {
+    merger_->FlushAll();
+    if (trace_sink_ != nullptr) {
+      trace_sink_->Flush();
+      result.trace_stream_bytes = trace_sink_->bytes_written();
+      result.trace_peak_buffer = trace_sink_->peak_buffer_bytes();
+    } else {
+      result.obs_trace = merger_->Take();
+    }
+  }
+  result.metrics = metrics_.TakeRows();
+  result.metric_names = metrics_.TakeNames();
   return result;
 }
 

@@ -503,6 +503,13 @@ void ShardedEngineBase::FillProtocolMetrics(RunResult* result) {
   result->commit_path_fallbacks = commit_path_fallbacks_;
 }
 
+void ShardedEngineBase::RegisterMetrics(obs::MetricsRegistry* metrics) {
+  EngineBase::RegisterMetrics(metrics);
+  metrics->Register("inflight_2pc", -1, [this] {
+    return static_cast<int64_t>(commits_.size());
+  });
+}
+
 // ---------------------------------------------------------------------------
 // ShardedG2plEngine
 // ---------------------------------------------------------------------------

@@ -119,6 +119,10 @@ class ShardedEngineBase : public EngineBase {
   /// sub-path tallies) into the result; subclasses override-and-call.
   void FillProtocolMetrics(RunResult* result) override;
 
+  /// Adds the 2PC coordinator gauge (commits with votes outstanding);
+  /// subclasses override-and-call.
+  void RegisterMetrics(obs::MetricsRegistry* metrics) override;
+
   /// Whether `txn`'s commit decision was issued by a remote coordinator
   /// (kCoord): lock engines then release at decision arrival, ahead of the
   /// client's ack-delayed DoCommit. Cleared when the run closes.

@@ -139,7 +139,7 @@ ParallelSim::ParallelSim(int32_t num_lps, SimTime lookahead, int num_threads)
 
 ParallelSim::~ParallelSim() = default;
 
-void ParallelSim::SetBarrierHook(std::function<void()> hook) {
+void ParallelSim::SetBarrierHook(std::function<void(SimTime)> hook) {
   barrier_hook_ = std::move(hook);
 }
 
@@ -186,7 +186,8 @@ uint64_t ParallelSim::FlushChannels() {
 }
 
 ParallelRunStats ParallelSim::Run(SimTime until) {
-  ParallelRunStats stats;
+  running_stats_ = ParallelRunStats{};
+  ParallelRunStats& stats = running_stats_;
   stop_requested_.store(false, std::memory_order_relaxed);
   const int threads = std::min<int>(num_threads_, num_lps());
   if (threads > 1 && pool_ == nullptr) {
@@ -235,7 +236,7 @@ ParallelRunStats ParallelSim::Run(SimTime until) {
     for (uint8_t r : ran) {
       if (r == 0) ++stats.stalls;
     }
-    if (barrier_hook_) barrier_hook_();
+    if (barrier_hook_) barrier_hook_(horizon);
   }
   return stats;
 }

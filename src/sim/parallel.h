@@ -132,13 +132,22 @@ class ParallelSim {
   /// Optional hook run serially at every window barrier (after the window's
   /// events executed and its messages flushed, before the next window
   /// starts). The engine layer uses it to evaluate global conditions —
-  /// warmup crossings, the stop target — on deterministic snapshots.
-  void SetBarrierHook(std::function<void()> hook);
+  /// warmup crossings, the stop target — on deterministic snapshots. The
+  /// argument is the completed window's horizon H: every event with time
+  /// < H has executed on every LP, and no future event can be stamped
+  /// below H — so H is the safe bound for draining per-LP trace streams
+  /// and for emitting metric samples at interval crossings below H.
+  void SetBarrierHook(std::function<void(SimTime)> hook);
 
   /// Runs windows until every queue and channel drains, `until` is passed
   /// (if >= 0; events stamped exactly `until` still run, and every LP's
   /// clock advances to at least `until`), or an LP calls Stop().
   ParallelRunStats Run(SimTime until = -1);
+
+  /// The current run's counters so far — valid inside the barrier hook
+  /// (updated before the hook fires), where the engine layer samples the
+  /// kernel's window/stall telemetry as time-series gauges.
+  const ParallelRunStats& running_stats() const { return running_stats_; }
 
  private:
   friend class ShardSim;
@@ -150,7 +159,8 @@ class ParallelSim {
   SimTime lookahead_;
   int num_threads_;
   std::vector<std::unique_ptr<ShardSim>> lps_;
-  std::function<void()> barrier_hook_;
+  std::function<void(SimTime)> barrier_hook_;
+  ParallelRunStats running_stats_;
   /// Atomic because Stop() may be called from LP events running on worker
   /// threads; a stop is a monotone flag, so the unordered writes cannot
   /// perturb determinism (it is only read at barriers).

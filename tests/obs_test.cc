@@ -64,7 +64,7 @@ TEST(TracerTest, StampsSeqAndSimTime) {
 }
 
 TEST(EventKindTest, NamesRoundTrip) {
-  for (int i = 0; i <= static_cast<int>(EventKind::kMsgDeliver); ++i) {
+  for (int i = 0; i <= static_cast<int>(EventKind::kLeaseRelease); ++i) {
     const auto kind = static_cast<EventKind>(i);
     EventKind parsed;
     ASSERT_TRUE(ParseEventKind(ToString(kind), &parsed)) << ToString(kind);
@@ -144,6 +144,70 @@ TEST(ExportTest, JsonlRejectsGarbage) {
   EXPECT_FALSE(ReadJsonl(truncated, &parsed, &error));
 }
 
+// One serialized line for a minimal event stamped (time, seq).
+std::string Line(SimTime time, uint64_t seq) {
+  TraceEvent event;
+  event.seq = seq;
+  event.time = time;
+  event.kind = EventKind::kTxnBegin;
+  event.txn = 1;
+  return ToJsonl({event});
+}
+
+TEST(ExportTest, JsonlRejectsOutOfOrderTime) {
+  std::istringstream in(Line(10, 0) + Line(5, 1));
+  std::vector<TraceEvent> parsed;
+  std::string error;
+  EXPECT_FALSE(ReadJsonl(in, &parsed, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("out-of-order or duplicate"), std::string::npos)
+      << error;
+}
+
+TEST(ExportTest, JsonlRejectsDuplicateTimeSeq) {
+  std::istringstream in(Line(10, 3) + Line(10, 3));
+  std::vector<TraceEvent> parsed;
+  std::string error;
+  EXPECT_FALSE(ReadJsonl(in, &parsed, &error));
+  EXPECT_NE(error.find("out-of-order or duplicate"), std::string::npos)
+      << error;
+}
+
+TEST(ExportTest, JsonlAcceptsSameTickSeqTiebreak) {
+  std::istringstream in(Line(10, 0) + Line(10, 1) + Line(11, 2));
+  std::vector<TraceEvent> parsed;
+  std::string error;
+  EXPECT_TRUE(ReadJsonl(in, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.size(), 3u);
+}
+
+TEST(ExportTest, JsonlErrorsNameTheLine) {
+  // A valid first line, then a truncated second line: the diagnostic must
+  // point at line 2.
+  std::istringstream in(Line(5, 0) + "{\"seq\":1,\"t\":30");
+  std::vector<TraceEvent> parsed;
+  std::string error;
+  EXPECT_FALSE(ReadJsonl(in, &parsed, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST(ExportTest, JsonlRejectsBadEscape) {
+  // A \u escape cut short inside the label string.
+  std::string line = Line(5, 0);
+  const std::string needle = "\"label\":\"\"";
+  const size_t at = line.find(needle);
+  if (at != std::string::npos) {
+    line.replace(at, needle.size(), "\"label\":\"\\u12\"");
+  } else {
+    line = "{\"seq\":0,\"t\":5,\"kind\":\"txn_begin\",\"label\":\"\\u12\"}\n";
+  }
+  std::istringstream in(line);
+  std::vector<TraceEvent> parsed;
+  std::string error;
+  EXPECT_FALSE(ReadJsonl(in, &parsed, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+}
+
 TEST(ExportTest, JsonlIsOneObjectPerLine) {
   const std::string jsonl = ToJsonl(SampleEvents());
   size_t lines = 0;
@@ -164,6 +228,38 @@ TEST(ExportTest, ChromeTraceSmoke) {
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
   EXPECT_NE(json.find("txn 1"), std::string::npos);
+}
+
+TEST(ExportTest, ChromeTraceCountsDroppedTransportEvents) {
+  std::vector<TraceEvent> events = SampleEvents();
+  TraceEvent send;
+  send.seq = 3;
+  send.time = 2100;
+  send.kind = EventKind::kMsgSend;
+  send.site = 0;
+  events.push_back(send);
+  TraceEvent deliver = send;
+  deliver.seq = 4;
+  deliver.time = 2600;
+  deliver.kind = EventKind::kMsgDeliver;
+  deliver.site = 1;
+  events.push_back(deliver);
+
+  std::ostringstream out;
+  WriteChromeTrace(events, out);
+  const std::string json = out.str();
+  // Transport events are omitted from the viewer, but never silently: a
+  // metadata event carries the dropped count.
+  EXPECT_EQ(json.find("msg_send"), std::string::npos);
+  EXPECT_EQ(json.find("msg_deliver"), std::string::npos);
+  EXPECT_NE(json.find("transport events omitted"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_msg_events\":2"), std::string::npos);
+}
+
+TEST(ExportTest, ChromeTraceNoMetadataWhenNothingDropped) {
+  std::ostringstream out;
+  WriteChromeTrace(SampleEvents(), out);
+  EXPECT_EQ(out.str().find("transport events omitted"), std::string::npos);
 }
 
 }  // namespace

@@ -235,10 +235,12 @@ TEST(ParsimValidateTest, RejectsEverythingOutsideTheSubset) {
   instant.instant_abort_notice = true;
   EXPECT_FALSE(instant.Validate().ok());
 
-  // Trace streams are serial-engine-only.
+  // The obs trace works at any thread count (per-LP tracers merged at
+  // barriers — DESIGN.md §16); the legacy network trace and the protocol
+  // event recorder remain serial-engine-only.
   SimConfig traced = ParsimConfig(Protocol::kNoWait, 2, 2);
   traced.obs_trace = true;
-  EXPECT_FALSE(traced.Validate().ok());
+  EXPECT_TRUE(traced.Validate().ok());
   SimConfig net_trace = ParsimConfig(Protocol::kNoWait, 2, 2);
   net_trace.trace = true;
   EXPECT_FALSE(net_trace.Validate().ok());

@@ -122,7 +122,15 @@ TEST(ParallelSimTest, StallsCountIdleLpWindows) {
 TEST(ParallelSimTest, BarrierHookRunsOncePerWindow) {
   ParallelSim sim(2, /*lookahead=*/3, /*num_threads=*/1);
   uint64_t hook_calls = 0;
-  sim.SetBarrierHook([&] { ++hook_calls; });
+  SimTime last_horizon = -1;
+  sim.SetBarrierHook([&](SimTime horizon) {
+    ++hook_calls;
+    // The horizon each barrier reports must advance strictly: every window
+    // executes at least one event at its floor, and the next floor is >=
+    // the previous horizon.
+    EXPECT_GT(horizon, last_horizon);
+    last_horizon = horizon;
+  });
   for (SimTime t = 0; t < 30; t += 4) {
     sim.lp(0).Schedule(t, [] {});
     sim.lp(1).Schedule(t, [] {});
